@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures against a
+bench-scale pipeline (world scale 1.0, 6 k sentences) and asserts the
+paper's qualitative shape, so the suite doubles as a reproduction check.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.pipeline import Pipeline, experiment_config
+from repro.world import paper_world
+
+BENCH_SEED = 11
+BENCH_SCALE = 1.0
+BENCH_SENTENCES = 6000
+
+
+def make_pipeline() -> Pipeline:
+    """A fresh bench-scale pipeline."""
+    preset = paper_world(seed=BENCH_SEED, scale=BENCH_SCALE)
+    config = experiment_config(
+        num_sentences=BENCH_SENTENCES, seed=BENCH_SEED,
+        profiles=preset.profiles,
+    )
+    return Pipeline(preset=preset, config=config)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline() -> Pipeline:
+    """Session-shared pipeline (read-only users)."""
+    return make_pipeline()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,55 @@
+"""Benchmarks for the extension experiments (ablations + threshold sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    run_ablation_features,
+    run_ablation_policy,
+    run_ablation_rollback,
+)
+from repro.experiments.threshold_sweep import run_threshold_sweep
+
+from .conftest import run_once
+
+
+def test_bench_ablation_features(benchmark, bench_pipeline):
+    """Feature ablation: some property must carry real signal."""
+    result = run_once(benchmark, run_ablation_features, bench_pipeline)
+    full = result.data["all features"]["f1"]
+    drops = [
+        full - row["f1"]
+        for variant, row in result.data.items()
+        if variant != "all features"
+    ]
+    assert max(drops) > 0.02
+
+
+def test_bench_ablation_rollback(benchmark, bench_pipeline):
+    """Rollback ablation: the cascade carries the recall."""
+    result = run_once(benchmark, run_ablation_rollback, bench_pipeline)
+    assert (
+        result.data["full DP cleaning"]["r_error"]
+        > result.data["drop-only (no rollback)"]["r_error"]
+    )
+
+
+def test_bench_ablation_policy(benchmark, bench_pipeline):
+    """Policy ablation: nearest attachment is the drift engine."""
+    result = run_once(benchmark, run_ablation_policy, bench_pipeline)
+    assert (
+        result.data["nearest"]["target_precision"]
+        < result.data["max_evidence"]["target_precision"]
+    )
+
+
+def test_bench_threshold_sweep(benchmark, bench_pipeline):
+    """Threshold sweep: no cut-off dominates the DP operating point."""
+    result = run_once(benchmark, run_threshold_sweep, bench_pipeline)
+    dp = result.data["dp_cleaning"]
+    for row in result.data["curve"]:
+        dominates = (
+            row["r_error"] >= dp["r_error"]
+            and row["p_error"] >= dp["p_error"]
+            and row["r_corr"] >= dp["r_corr"]
+        )
+        assert not dominates

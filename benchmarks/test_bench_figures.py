@@ -1,0 +1,61 @@
+"""Benchmarks regenerating Figures 2–5 (§2, §3 and §5 of the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5a, run_figure5b, run_figure5c
+
+from .conftest import run_once
+
+
+def test_bench_figure2(benchmark, bench_pipeline):
+    """Fig. 2: sub-instance distributions of DPs vs. non-DPs."""
+    result = run_once(benchmark, run_figure2, bench_pipeline, concept="animal")
+    assert result.data["intentional_dps"]
+    assert result.data["non_dps"]
+    assert len(result.data["axis"]) >= 8
+
+
+def test_bench_figure3(benchmark, bench_pipeline):
+    """Fig. 3: feature distributions separate the three classes."""
+    result = run_once(benchmark, run_figure3, bench_pipeline)
+    data = result.data
+    assert data["Non-DPs"]["f1"]["mean"] > data["Accidental DPs"]["f1"]["mean"]
+    assert data["Non-DPs"]["f3"]["mean"] > data["Accidental DPs"]["f3"]["mean"]
+
+
+def test_bench_figure4(benchmark, bench_pipeline):
+    """Fig. 4: concept-pair similarity has the three paper bands."""
+    result = run_once(benchmark, run_figure4, bench_pipeline)
+    bands = result.data["bands"]
+    assert bands["exclusive"] > bands["irrelevant"]
+    assert bands["similar"] >= 4
+
+
+def test_bench_figure5a(benchmark, bench_pipeline):
+    """Fig. 5(a): pairs grow while precision collapses."""
+    result = run_once(benchmark, run_figure5a, bench_pipeline)
+    series = result.data["series"]
+    assert series[0]["precision"] > 0.9
+    assert series[-1]["precision"] < series[0]["precision"] - 0.2
+    assert series[-1]["distinct_pairs"] > 1.5 * series[0]["distinct_pairs"]
+
+
+def test_bench_figure5b(benchmark, bench_pipeline):
+    """Fig. 5(b): seed precision rises with k while yield falls."""
+    result = run_once(
+        benchmark, run_figure5b, bench_pipeline, k_values=(0, 2, 4, 6, 8)
+    )
+    series = result.data["series"]
+    assert series[0]["recall"] > series[-1]["recall"]
+    assert series[-1]["precision"] > 0.9
+
+
+def test_bench_figure5c(benchmark, bench_pipeline):
+    """Fig. 5(c): detector accuracy stabilises over training iterations."""
+    result = run_once(benchmark, run_figure5c, bench_pipeline, iterations=12)
+    accuracy = result.data["accuracy"]
+    assert accuracy
+    assert accuracy[-1] >= accuracy[0] - 0.02

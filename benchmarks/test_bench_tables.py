@@ -1,0 +1,65 @@
+"""Benchmarks regenerating Tables 1–5 (§5 of the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+from .conftest import run_once
+
+
+def test_bench_table1(benchmark, bench_pipeline):
+    """Table 1: ground-truth statistics of the 20 target concepts."""
+    result = run_once(benchmark, run_table1, bench_pipeline)
+    overall = result.data["concepts"]["Overall"]
+    assert overall["instances"] > 2000
+    assert 0.2 < overall["error_rate"] < 0.7
+    assert overall["accidental_dps"] > overall["intentional_dps"]
+
+
+def test_bench_table2(benchmark, bench_pipeline):
+    """Table 2: ranking precision — Random Walk must lead at the top."""
+    result = run_once(benchmark, run_table2, bench_pipeline, ks=(25, 100, 400))
+    data = result.data
+    assert data["Random Walk"]["p@25"] >= data["Frequency"]["p@25"]
+    assert data["Random Walk"]["p@25"] >= data["PageRank"]["p@25"]
+
+
+def test_bench_table3(benchmark, bench_pipeline):
+    """Table 3: DP cleaning beats every baseline on error F1."""
+    result = run_once(benchmark, run_table3, bench_pipeline)
+
+    def error_f1(row):
+        p, r = row["p_error"], row["r_error"]
+        return 0.0 if p + r == 0 else 2 * p * r / (p + r)
+
+    dp = error_f1(result.data["DP Cleaning"])
+    for method in ("MEx", "TCh", "PRDual-Rank", "RW-Rank"):
+        assert dp > error_f1(result.data[method]), method
+    assert result.data["DP Cleaning"]["p_corr"] > 0.85
+    assert result.data["DP Cleaning"]["r_corr"] > 0.9
+
+
+def test_bench_table4(benchmark, bench_pipeline):
+    """Table 4: multi-task detection tops the learned methods."""
+    result = run_once(benchmark, run_table4, bench_pipeline)
+    data = result.data
+    assert (
+        data["Semi-Supervised Multi-Task"]["f1"]
+        >= data["Semi-Supervised"]["f1"]
+    )
+    assert (
+        data["Semi-Supervised Multi-Task"]["f1"] > data["Supervised"]["f1"]
+    )
+
+
+def test_bench_table5(benchmark, bench_pipeline):
+    """Table 5: per-concept cleaning with Eq. 21 sentence checks."""
+    result = run_once(benchmark, run_table5, bench_pipeline)
+    overall = result.data["Overall"]
+    assert overall["p_error"] > 0.8
+    assert overall["p_stc"] > 0.85
+    assert len(result.data) == 21

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Build a custom ground-truth world and study its drift channels.
+
+Shows the :class:`~repro.world.WorldBuilder` API: domains, concepts,
+polysemy bridges, alias concepts, and drift partnerships — then measures
+how much drift each channel produces and how well the mutual-exclusion
+index recovers the domain structure.
+
+Run:  python examples/custom_world.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConceptProfile,
+    CorpusConfig,
+    ExtractionConfig,
+    GroundTruth,
+    SemanticIterativeExtractor,
+    WorldBuilder,
+    generate_corpus,
+)
+from repro.concepts import MutualExclusionIndex
+from repro.nlp import EntityType
+
+
+def build_world():
+    builder = WorldBuilder(seed=42)
+    builder.add_domain("languages", EntityType.MISC)
+    builder.add_domain("countries", EntityType.LOCATION)
+    builder.add_domain("frameworks", EntityType.MISC)
+    # 'python'-style ambiguity: languages that are also framework names
+    builder.add_concept("programming language", "languages", size=60,
+                        popularity=3.0)
+    builder.add_concept("country", "countries", size=50, popularity=2.0)
+    builder.add_concept("web framework", "frameworks", size=45,
+                        popularity=2.0)
+    builder.add_alias("country", "nation", overlap=0.85)
+    builder.add_subset("programming language", "scripting language",
+                       fraction=0.4)
+    # bridges: some framework names are also language names
+    builder.add_bridges("web framework", "programming language", count=4)
+    # drift channel: frameworks leak into 'programming language'
+    builder.set_partners("programming language", ["web framework"])
+    return builder.build()
+
+
+def main() -> None:
+    world = build_world()
+    print(f"world: {world}")
+    bridges = world.members("programming language") & world.members(
+        "web framework"
+    )
+    print(f"polysemy bridges: {sorted(bridges)}")
+
+    profiles = {
+        "programming language": ConceptProfile(
+            ambiguous_rate=0.6, drift_rate=0.7, bridge_rate=0.5
+        ),
+    }
+    corpus = generate_corpus(
+        world,
+        CorpusConfig(num_sentences=2500, profiles=profiles),
+        seed=1,
+    )
+    result = SemanticIterativeExtractor(
+        ExtractionConfig(stream_chunks=5)
+    ).run(corpus)
+    kb = result.kb
+    truth = GroundTruth(world, kb)
+
+    print("\nper-concept extraction quality:")
+    for concept in ("programming language", "web framework", "country"):
+        summary = truth.concept_truth(concept)
+        print(f"  {concept:<22} {summary.instances:>4} instances, "
+              f"{summary.error_rate:.0%} errors")
+
+    drifted = [
+        instance
+        for instance in kb.instances_of("programming language")
+        if world.is_member("web framework", instance)
+        and not world.is_member("programming language", instance)
+    ]
+    print(f"\nframeworks drifted into 'programming language': {len(drifted)}")
+    reverse = [
+        instance
+        for instance in kb.instances_of("country")
+        if world.is_member("programming language", instance)
+    ]
+    print(
+        f"languages drifted into 'country': {len(reverse)} — an *emergent* "
+        "channel:\n  a false fact seeds one language under country, and "
+        "every later\n  'languages from countries such as …' sentence "
+        "resolves the wrong way."
+    )
+
+    index = MutualExclusionIndex(kb)
+    print("\nmutual-exclusion index recovered from extraction alone:")
+    for a, b in (
+        ("programming language", "country"),
+        ("programming language", "web framework"),
+        ("country", "nation"),
+    ):
+        relation = (
+            "exclusive" if index.exclusive(a, b)
+            else "similar" if index.highly_similar(a, b)
+            else "related"
+        )
+        print(f"  {a!r} vs {b!r}: {relation} "
+              f"(cosine {index.similarity.similarity(a, b):.4f})")
+
+
+if __name__ == "__main__":
+    main()

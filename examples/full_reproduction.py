@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Equivalent to ``repro run all`` but demonstrates the library API.  At the
+default scale this takes a few minutes; pass ``--fast`` for a small run.
+
+Run:  python examples/full_reproduction.py [--fast]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import experiment_config, experiment_names, paper_world, run_experiment
+from repro.experiments import Pipeline
+
+
+def main() -> int:
+    fast = "--fast" in sys.argv[1:]
+    scale = 1.0 if fast else 4.0
+    sentences = 6000 if fast else 24_000
+    print(f"scale={scale} sentences={sentences} "
+          f"({'fast' if fast else 'paper-scale'} mode)\n")
+    for name in experiment_names():
+        preset = paper_world(scale=scale)
+        pipeline = Pipeline(
+            preset=preset,
+            config=experiment_config(
+                num_sentences=sentences, profiles=preset.profiles
+            ),
+        )
+        started = time.time()
+        result = run_experiment(name, pipeline=pipeline)
+        print(f"== {result.title} ==")
+        print(result.text)
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

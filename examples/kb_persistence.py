@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Persist a knowledge base, reload it, clean it, and audit one instance.
+
+Demonstrates the persistence layer (worlds and knowledge bases round-trip
+through JSON with full provenance) and the ``diagnose`` API that explains
+everything the pipeline knows about one (concept, instance).
+
+Run:  python examples/kb_persistence.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import DPLabel
+from repro.experiments.pipeline import Pipeline, experiment_config
+from repro.kb import load_kb, save_kb
+from repro.world import load_world, paper_world, save_world
+
+
+def main() -> None:
+    preset = paper_world(seed=7, scale=0.8)
+    pipeline = Pipeline(
+        preset=preset,
+        config=experiment_config(
+            num_sentences=5000, seed=7, profiles=preset.profiles
+        ),
+    )
+    artifacts = pipeline.run()
+    kb = artifacts.kb
+
+    with tempfile.TemporaryDirectory() as tmp:
+        world_path = Path(tmp) / "world.json"
+        kb_path = Path(tmp) / "kb.jsonl"
+
+        save_world(artifacts.world, world_path)
+        save_kb(kb, kb_path)
+        print(f"saved world ({world_path.stat().st_size // 1024} KiB) and "
+              f"KB ({kb_path.stat().st_size // 1024} KiB)")
+
+        reloaded_world = load_world(world_path)
+        reloaded_kb = load_kb(kb_path)
+        assert set(reloaded_kb.pairs()) == set(kb.pairs())
+        print(f"reloaded: {reloaded_world} / {reloaded_kb}")
+
+    # Audit one detected Intentional DP end to end.
+    detected = artifacts.detector.predict_all()
+    candidate = next(
+        (
+            (concept, instance)
+            for concept, labels in detected.items()
+            for instance, label in labels.items()
+            if label is DPLabel.INTENTIONAL
+            and artifacts.truth.dp_label(concept, instance)
+            is DPLabel.INTENTIONAL
+        ),
+        None,
+    )
+    if candidate is None:
+        print("no confirmed Intentional DP detected in this small run")
+        return
+    concept, instance = candidate
+    report = artifacts.diagnose(concept, instance)
+    print(f"\ndiagnosis of the detected Intentional DP "
+          f"({instance!r} isA {concept!r}):")
+    print(json.dumps(report, indent=2, default=str))
+
+
+if __name__ == "__main__":
+    main()

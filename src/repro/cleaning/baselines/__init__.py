@@ -1,0 +1,14 @@
+"""The four comparison cleaners of §5.3."""
+
+from .mutual_exclusion import MutualExclusionCleaner
+from .prdualrank import PRDualRankCleaner
+from .rw_rank import RWRankCleaner, learn_relative_threshold
+from .type_checking import TypeCheckingCleaner
+
+__all__ = [
+    "MutualExclusionCleaner",
+    "PRDualRankCleaner",
+    "RWRankCleaner",
+    "TypeCheckingCleaner",
+    "learn_relative_threshold",
+]

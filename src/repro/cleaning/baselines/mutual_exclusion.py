@@ -1,0 +1,57 @@
+"""Mutual Exclusion cleaning (MEx, Curran et al. 2007 — §5.3 baseline).
+
+An instance extracted under two mutually exclusive concepts cannot belong
+to both; the pair with the weaker evidence (lower count; later iteration
+breaks ties) is removed.  High precision, low recall: it only sees errors
+that were *also* extracted under their true concept.
+"""
+
+from __future__ import annotations
+
+from ...concepts.exclusion import MutualExclusionIndex
+from ...corpus.corpus import Corpus
+from ...kb.pair import IsAPair
+from ...kb.store import KnowledgeBase
+from ..base import BaseCleaner, CleaningResult
+
+__all__ = ["MutualExclusionCleaner"]
+
+
+class MutualExclusionCleaner(BaseCleaner):
+    """Remove the weaker pair of every exclusive cross-extraction."""
+
+    name = "mex"
+
+    def __init__(self, exclusion_factory=None) -> None:
+        self._exclusion_factory = exclusion_factory or MutualExclusionIndex
+
+    def clean(self, kb: KnowledgeBase, corpus: Corpus) -> CleaningResult:
+        before = kb.removed_pairs()
+        exclusion = self._exclusion_factory(kb)
+        to_remove: set[IsAPair] = set()
+        for concept in sorted(kb.concepts()):
+            for instance in sorted(kb.instances_of(concept)):
+                pair = IsAPair(concept, instance)
+                if pair in to_remove:
+                    continue
+                for other in sorted(kb.concepts_with_instance(instance)):
+                    if other <= concept:
+                        continue
+                    if not exclusion.exclusive(concept, other):
+                        continue
+                    other_pair = IsAPair(other, instance)
+                    to_remove.add(self._weaker(kb, pair, other_pair))
+        for pair in sorted(to_remove):
+            if pair in kb:
+                kb.remove_pair(pair)
+        return self._result(self.name, before, kb)
+
+    @staticmethod
+    def _weaker(kb: KnowledgeBase, a: IsAPair, b: IsAPair) -> IsAPair:
+        count_a, count_b = kb.count(a), kb.count(b)
+        if count_a != count_b:
+            return a if count_a < count_b else b
+        # Equal evidence: the later extraction is the accidental one.
+        if kb.first_iteration(a) != kb.first_iteration(b):
+            return a if kb.first_iteration(a) > kb.first_iteration(b) else b
+        return max(a, b)

@@ -1,0 +1,199 @@
+"""DP-based cleaning (§4): the paper's primary contribution.
+
+Each cleaning round:
+
+1. a detection callback classifies every (concept, instance) — in the full
+   pipeline this is a freshly fitted :class:`~repro.learning.DPDetector`;
+2. **Accidental DPs** are dropped and everything they triggered rolls back
+   (cascading, §4.2);
+3. for every sentence triggered by an **Intentional DP**, Eq. 21 re-scores
+   the candidate concepts with current random-walk scores; losing
+   extractions roll back (cascading).
+
+Rounds repeat — removing early-iteration DPs exposes and removes the later
+DPs they fed — until a round finds nothing to clean or the round cap is
+reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping
+
+from ..concepts.exclusion import MutualExclusionIndex
+from ..config import CleaningConfig
+from ..corpus.corpus import Corpus
+from ..kb.pair import IsAPair
+from ..kb.rollback import RollbackEngine
+from ..kb.store import KnowledgeBase
+from ..labeling.labels import DPLabel
+from ..ranking.random_walk import RandomWalkRanker
+from .base import BaseCleaner, CleaningResult
+from .intentional import SentenceCheck, check_extraction
+
+__all__ = ["DPCleaner", "RoundStats", "DetectFn"]
+
+#: concept → instance → label for the current knowledge base.
+DetectFn = Callable[[KnowledgeBase], Mapping[str, Mapping[str, DPLabel]]]
+
+
+@dataclass
+class RoundStats:
+    """What one cleaning round did."""
+
+    round_index: int
+    intentional_dps: int = 0
+    accidental_dps: int = 0
+    records_rolled_back: int = 0
+    pairs_removed: int = 0
+    sentence_checks: list[SentenceCheck] = field(default_factory=list)
+
+
+class DPCleaner(BaseCleaner):
+    """Iterative DP-based cleaning with cascading rollback."""
+
+    name = "dp_cleaning"
+
+    def __init__(
+        self,
+        detect_fn: DetectFn,
+        config: CleaningConfig | None = None,
+        ranker: RandomWalkRanker | None = None,
+    ) -> None:
+        self._detect_fn = detect_fn
+        self._config = config or CleaningConfig()
+        self._ranker = ranker or RandomWalkRanker()
+
+    def clean(self, kb: KnowledgeBase, corpus: Corpus) -> CleaningResult:
+        before = kb.removed_pairs()
+        by_sid = corpus.by_sid()
+        engine = RollbackEngine(kb)
+        rounds: list[RoundStats] = []
+        total_rolled = 0
+        for round_index in range(1, self._config.max_cleaning_rounds + 1):
+            stats = self._run_round(kb, by_sid, engine, round_index)
+            rounds.append(stats)
+            total_rolled += stats.records_rolled_back
+            if stats.pairs_removed == 0 and stats.records_rolled_back == 0:
+                break
+        return self._result(
+            self.name,
+            before,
+            kb,
+            records_rolled_back=total_rolled,
+            rounds=len(rounds),
+            details={"rounds": rounds},
+        )
+
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
+    def _run_round(
+        self,
+        kb: KnowledgeBase,
+        by_sid: Mapping[int, "object"],
+        engine: RollbackEngine,
+        round_index: int,
+    ) -> RoundStats:
+        stats = RoundStats(round_index=round_index)
+        detections = self._detect_fn(kb)
+        intentional: list[IsAPair] = []
+        accidental: list[IsAPair] = []
+        for concept, labels in detections.items():
+            for instance, label in labels.items():
+                if not kb.has_instance(concept, instance):
+                    continue
+                if label is DPLabel.ACCIDENTAL:
+                    accidental.append(IsAPair(concept, instance))
+                elif label is DPLabel.INTENTIONAL:
+                    intentional.append(IsAPair(concept, instance))
+        stats.accidental_dps = len(accidental)
+        stats.intentional_dps = len(intentional)
+
+        # Scores for Eq. 21 checks and for the weaker-side test below.
+        exclusion = MutualExclusionIndex(kb)
+        relevant = {pair.concept for pair in intentional}
+        relevant.update(pair.concept for pair in accidental)
+        for pair in accidental:
+            relevant.update(
+                exclusion.exclusive_concepts_containing(
+                    kb, pair.concept, pair.instance
+                )
+            )
+        scores = self._ranker.score_all(kb, sorted(relevant))
+
+        def relative_score(concept: str, instance: str) -> float:
+            concept_scores = scores.get(concept, {})
+            if not concept_scores:
+                return 0.0
+            return concept_scores.get(instance, 0.0) * len(concept_scores)
+
+        # Accidental DPs: drop the pair + everything it activated.
+        # Two definition-level guards protect against detector false
+        # positives (whose cascades would nuke correct knowledge):
+        # Property 3 — a real Accidental DP rests on one or two sentences;
+        # Definition 4 — it is an instance of *another* class accidentally
+        # extracted here, so it must appear under a mutually exclusive
+        # concept.
+        for pair in sorted(accidental):
+            if pair not in kb:
+                continue  # removed by an earlier cascade this round
+            well_evidenced = kb.count(pair) > self._config.accidental_max_count
+            elsewhere = exclusion.exclusive_concepts_containing(
+                kb, pair.concept, pair.instance
+            )
+            # Weaker-side test: the accidental home must score worse than
+            # the instance's true home (cf. the paper's New York example:
+            # strong under city, one stray sentence under country).
+            own = relative_score(pair.concept, pair.instance)
+            weaker_side = any(
+                relative_score(other, pair.instance) > own
+                for other in elsewhere
+            )
+            if well_evidenced or not weaker_side:
+                # Not droppable as accidental — but the detector still
+                # considers it a DP, and Eq. 21 arbitration is safe on
+                # correct triggers, so check its sentences instead.
+                intentional.append(pair)
+                continue
+            result = engine.rollback_pair(pair)
+            stats.records_rolled_back += result.num_records
+            stats.pairs_removed += result.num_pairs
+
+        # Intentional DPs: keep the pair, re-score what it triggered.
+        # Eq. 21 needs scores for *every* candidate concept of the checked
+        # sentences (not just the DP's own concept), and the accidental
+        # rollbacks above changed the graph, so re-rank now.
+        checkable: list[tuple[IsAPair, int]] = []
+        candidate_concepts: set[str] = set()
+        for pair in sorted(intentional):
+            if pair not in kb:
+                continue
+            for record in kb.records_triggered_by(pair):
+                sentence = by_sid.get(record.sid)
+                if sentence is None:
+                    continue
+                checkable.append((pair, record.rid))
+                candidate_concepts.update(sentence.concepts)
+        check_scores = self._ranker.score_all(kb, sorted(candidate_concepts))
+        to_roll: list[int] = []
+        seen_records: set[int] = set()
+        for pair, rid in checkable:
+            if rid in seen_records:
+                continue
+            seen_records.add(rid)
+            record = kb.record(rid)
+            if not record.active:
+                continue
+            sentence = by_sid[record.sid]
+            check = check_extraction(
+                sentence, record.concept, pair.instance, check_scores
+            )
+            stats.sentence_checks.append(check)
+            if check.is_drifting:
+                to_roll.append(rid)
+        if to_roll:
+            result = engine.rollback_records(sorted(set(to_roll)))
+            stats.records_rolled_back += result.num_records
+            stats.pairs_removed += result.num_pairs
+        return stats

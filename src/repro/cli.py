@@ -1,0 +1,114 @@
+"""Command-line interface: ``repro run <experiment>`` / ``python -m repro``.
+
+Examples
+--------
+Run one experiment at the default paper scale::
+
+    repro run table3
+
+Run everything quickly on a smaller world::
+
+    repro run all --scale 2 --sentences 12000
+
+List available experiments::
+
+    repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from .experiments.pipeline import Pipeline, experiment_config
+from .experiments.registry import experiment_names, run_experiment
+from .world.presets import paper_world
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Overcoming Semantic Drift in Information "
+            "Extraction' (EDBT 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument(
+        "experiment",
+        choices=experiment_names() + ["all"],
+        help="table/figure to regenerate",
+    )
+    runner.add_argument(
+        "--scale", type=float, default=4.0,
+        help="world size multiplier (default 4.0)",
+    )
+    runner.add_argument(
+        "--sentences", type=int, default=24_000,
+        help="corpus size (default 24000)",
+    )
+    runner.add_argument(
+        "--seed", type=int, default=20140324, help="experiment seed",
+    )
+    runner.add_argument(
+        "--output", type=str, default=None,
+        help="directory to write <experiment>.json / <experiment>.txt into",
+    )
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _make_pipeline(args: argparse.Namespace) -> Pipeline:
+    preset = paper_world(seed=args.seed, scale=args.scale)
+    config = experiment_config(
+        num_sentences=args.sentences,
+        seed=args.seed,
+        profiles=preset.profiles,
+    )
+    return Pipeline(preset=preset, config=config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+    names = experiment_names() if args.experiment == "all" else [args.experiment]
+    output_dir = Path(args.output) if args.output else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        pipeline = _make_pipeline(args)
+        started = time.time()
+        result = run_experiment(name, pipeline=pipeline)
+        elapsed = time.time() - started
+        print(f"== {result.title} ==")
+        print(result.text)
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+        if output_dir is not None:
+            (output_dir / f"{name}.txt").write_text(
+                f"{result.title}\n{result.text}\n", encoding="utf-8"
+            )
+            (output_dir / f"{name}.json").write_text(
+                json.dumps(
+                    {"name": result.name, "title": result.title,
+                     "seconds": round(elapsed, 2), "data": result.data},
+                    indent=2, default=str,
+                ),
+                encoding="utf-8",
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

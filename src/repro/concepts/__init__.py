@@ -1,0 +1,6 @@
+"""Concept-level analysis: core-set similarity and mutual exclusion."""
+
+from .exclusion import MutualExclusionIndex
+from .similarity import CoreSimilarity
+
+__all__ = ["CoreSimilarity", "MutualExclusionIndex"]

@@ -1,0 +1,101 @@
+"""Mutual exclusion and high-similarity between concepts (§3.2.1).
+
+Two concepts are **mutually exclusive** when their core-set similarity is
+below ``exclusive_threshold`` and **highly similar** above
+``similar_threshold``; everything in between is merely *irrelevant* (the
+three bands of Fig. 4).  The paper additionally propagates exclusion
+through highly-similar siblings ("we could safely take the mutually
+exclusive concepts of C as the mutually exclusive concepts of C'").  We
+implement that by comparing *similarity groups*: A ⊥ B iff no member of
+A's group overlaps any member of B's group above the exclusive threshold.
+
+Note on thresholds: the paper's 1e-4 presumes cores of 10⁴–10⁶ instances,
+where one shared instance stays under the threshold.  Synthetic cores are
+10²–10³, so the library default (see
+:class:`repro.config.SimilarityConfig`) is scaled accordingly; Fig. 4's
+runner regenerates the distribution the threshold is read from.
+"""
+
+from __future__ import annotations
+
+from ..config import SimilarityConfig
+from ..kb.store import KnowledgeBase
+from .similarity import CoreSimilarity
+
+__all__ = ["MutualExclusionIndex"]
+
+
+class MutualExclusionIndex:
+    """Answers exclusivity / similarity queries over extracted concepts."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: SimilarityConfig | None = None,
+        similarity: CoreSimilarity | None = None,
+    ) -> None:
+        self._config = config or SimilarityConfig()
+        self._similarity = similarity or CoreSimilarity(
+            kb, min_core_size=self._config.min_core_size
+        )
+        self._groups: dict[str, frozenset[str]] = {}
+        for concept in self._similarity.concepts:
+            similar = {
+                other
+                for other, value in self._similarity.overlapping(concept).items()
+                if value > self._config.similar_threshold
+            }
+            similar.add(concept)
+            self._groups[concept] = frozenset(similar)
+
+    @property
+    def similarity(self) -> CoreSimilarity:
+        """The underlying core-set similarity."""
+        return self._similarity
+
+    @property
+    def config(self) -> SimilarityConfig:
+        """Thresholds in effect."""
+        return self._config
+
+    def group(self, concept: str) -> frozenset[str]:
+        """The concept plus everything highly similar to it."""
+        return self._groups.get(concept, frozenset({concept}))
+
+    def highly_similar(self, concept_a: str, concept_b: str) -> bool:
+        """True when the two concepts' cores overlap strongly."""
+        if concept_a == concept_b:
+            return True
+        return (
+            self._similarity.similarity(concept_a, concept_b)
+            > self._config.similar_threshold
+        )
+
+    def exclusive(self, concept_a: str, concept_b: str) -> bool:
+        """Mutual exclusion with similarity-group propagation."""
+        if concept_a == concept_b:
+            return False
+        group_a = self.group(concept_a)
+        group_b = self.group(concept_b)
+        if group_a & group_b:
+            return False
+        threshold = self._config.exclusive_threshold
+        for a in group_a:
+            for b in group_b:
+                if self._similarity.similarity(a, b) >= threshold:
+                    return False
+        return True
+
+    def exclusive_concepts_containing(
+        self, kb: KnowledgeBase, concept: str, instance: str
+    ) -> frozenset[str]:
+        """Concepts exclusive with ``concept`` that list ``instance``.
+
+        This is the paper's feature ``f2`` numerator: the number of
+        mutually exclusive concepts that also obtained the instance.
+        """
+        return frozenset(
+            other
+            for other in kb.concepts_with_instance(instance)
+            if other != concept and self.exclusive(concept, other)
+        )

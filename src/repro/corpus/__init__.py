@@ -1,0 +1,21 @@
+"""Synthetic Hearst-pattern corpus substrate."""
+
+from .corpus import Corpus
+from .documents import Page, deduplicate, group_pages
+from .generator import CorpusGenerator, generate_corpus
+from .stats import CorpusStats, corpus_stats
+from .sentence import Sentence, SentenceKind, SentenceTruth
+
+__all__ = [
+    "Corpus",
+    "CorpusGenerator",
+    "CorpusStats",
+    "corpus_stats",
+    "Page",
+    "Sentence",
+    "SentenceKind",
+    "SentenceTruth",
+    "deduplicate",
+    "generate_corpus",
+    "group_pages",
+]

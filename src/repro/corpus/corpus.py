@@ -1,0 +1,138 @@
+"""The :class:`Corpus` container."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterator, Sequence
+
+from ..errors import CorpusError
+from .documents import Page, deduplicate, group_pages
+from .sentence import Sentence, SentenceKind, SentenceTruth
+
+__all__ = ["Corpus"]
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """An immutable collection of Hearst sentences grouped into pages."""
+
+    sentences: tuple[Sentence, ...]
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    def __iter__(self) -> Iterator[Sentence]:
+        return iter(self.sentences)
+
+    def __getitem__(self, sid: int) -> Sentence:
+        sentence = self.by_sid().get(sid)
+        if sentence is None:
+            raise CorpusError(f"no sentence with sid {sid}")
+        return sentence
+
+    def by_sid(self) -> dict[int, Sentence]:
+        """Sentence lookup by id (built on demand)."""
+        return {sentence.sid: sentence for sentence in self.sentences}
+
+    def pages(self) -> list[Page]:
+        """The page grouping of this corpus."""
+        return group_pages(self.sentences)
+
+    def deduplicated(self) -> "Corpus":
+        """A corpus with exact-duplicate surfaces removed (first one wins)."""
+        return Corpus(tuple(deduplicate(self.sentences)))
+
+    def ambiguous(self) -> list[Sentence]:
+        """All sentences with more than one candidate concept."""
+        return [s for s in self.sentences if s.is_ambiguous]
+
+    def unambiguous(self) -> list[Sentence]:
+        """All sentences with exactly one candidate concept."""
+        return [s for s in self.sentences if not s.is_ambiguous]
+
+    def kind_counts(self) -> dict[SentenceKind, int]:
+        """Histogram of generation kinds (requires truth records)."""
+        counts: dict[SentenceKind, int] = {}
+        for sentence in self.sentences:
+            if sentence.truth is not None:
+                kind = sentence.truth.kind
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def without_truth(self) -> "Corpus":
+        """A copy safe to hand to extraction code in adversarial tests."""
+        return Corpus(tuple(s.without_truth() for s in self.sentences))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, path: str | Path) -> None:
+        """Write the corpus to a JSON-lines file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for sentence in self.sentences:
+                handle.write(json.dumps(_sentence_to_json(sentence)) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "Corpus":
+        """Read a corpus previously written by :meth:`dump_jsonl`."""
+        sentences: list[Sentence] = []
+        with open(path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    sentences.append(_sentence_from_json(record))
+                except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                    raise CorpusError(
+                        f"bad corpus record at {path}:{line_number}: {exc}"
+                    ) from exc
+        return cls(tuple(sentences))
+
+    @classmethod
+    def from_sentences(cls, sentences: Sequence[Sentence]) -> "Corpus":
+        """Build a corpus from any sentence sequence."""
+        return cls(tuple(sentences))
+
+
+def _sentence_to_json(sentence: Sentence) -> dict:
+    record = {
+        "sid": sentence.sid,
+        "surface": sentence.surface,
+        "concepts": list(sentence.concepts),
+        "instances": list(sentence.instances),
+        "page_id": sentence.page_id,
+    }
+    if sentence.truth is not None:
+        record["truth"] = {
+            "concept": sentence.truth.concept,
+            "kind": sentence.truth.kind.value,
+            "contaminants": list(sentence.truth.contaminants),
+            "typos": list(sentence.truth.typos),
+            "bridge": sentence.truth.bridge,
+        }
+    return record
+
+
+def _sentence_from_json(record: dict) -> Sentence:
+    truth = None
+    if "truth" in record:
+        raw = record["truth"]
+        truth = SentenceTruth(
+            concept=raw["concept"],
+            kind=SentenceKind(raw["kind"]),
+            contaminants=tuple(raw.get("contaminants", ())),
+            typos=tuple(raw.get("typos", ())),
+            bridge=raw.get("bridge"),
+        )
+    return Sentence(
+        sid=record["sid"],
+        surface=record["surface"],
+        concepts=tuple(record["concepts"]),
+        instances=tuple(record["instances"]),
+        page_id=record.get("page_id", 0),
+        truth=truth,
+    )

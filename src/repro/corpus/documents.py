@@ -1,0 +1,52 @@
+"""Web-page grouping and sentence de-duplication.
+
+The paper extracts from 326 M *de-duplicated* sentences found on 1.68 B web
+pages: the same sentence appearing on many pages counts once.  The corpus
+generator emits duplicated surfaces across pages deliberately so that this
+stage does real work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from .sentence import Sentence
+
+__all__ = ["Page", "group_pages", "deduplicate"]
+
+
+@dataclass(frozen=True)
+class Page:
+    """A web page: an id plus the sentences that appeared on it."""
+
+    page_id: int
+    sentence_ids: tuple[int, ...]
+
+
+def group_pages(sentences: Sequence[Sentence]) -> list[Page]:
+    """Group sentences into pages by their ``page_id``."""
+    by_page: dict[int, list[int]] = {}
+    for sentence in sentences:
+        by_page.setdefault(sentence.page_id, []).append(sentence.sid)
+    return [
+        Page(page_id=page_id, sentence_ids=tuple(sids))
+        for page_id, sids in sorted(by_page.items())
+    ]
+
+
+def deduplicate(sentences: Iterable[Sentence]) -> list[Sentence]:
+    """Drop sentences whose exact surface was seen before.
+
+    Keeps the first occurrence (lowest ``sid``); the survivors preserve
+    their original ids, so pair evidence counts reflect *distinct* sentences
+    exactly as in the paper.
+    """
+    seen: set[str] = set()
+    kept: list[Sentence] = []
+    for sentence in sentences:
+        if sentence.surface in seen:
+            continue
+        seen.add(sentence.surface)
+        kept.append(sentence)
+    return kept

@@ -1,0 +1,70 @@
+"""Noise models for corpus generation.
+
+Two error mechanisms from the paper live here:
+
+* **false facts** — a sentence about concept ``C`` names one instance that
+  truly belongs to a mutually exclusive concept (the paper's
+  ``countries such as France, Portugal, New York`` example);
+* **typos** — a corrupted surface that belongs to no concept at all
+  (``Syngapore``), the paper's example of an error that is *not* a drifting
+  error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..world.taxonomy import World
+from ..world.vocabulary import make_typo
+
+__all__ = ["pick_false_fact", "apply_typo", "popular_members"]
+
+
+def popular_members(
+    world: World, concept: str, top_fraction: float = 0.25
+) -> list[str]:
+    """The most popular ground-truth members of a concept.
+
+    False facts in real text involve famous entities (*New York*, not an
+    obscure village), so contamination draws from the popularity head.
+    """
+    members = sorted(
+        world.members(concept),
+        key=lambda name: -world.instance(name).popularity,
+    )
+    count = max(1, int(round(top_fraction * len(members))))
+    return members[:count]
+
+
+def pick_false_fact(
+    world: World, concept: str, rng: np.random.Generator
+) -> str | None:
+    """Pick a popular instance of a concept mutually exclusive with ``concept``.
+
+    Returns ``None`` when the world has no exclusive concept to draw from.
+    The pick avoids polysemous instances that would actually be correct for
+    ``concept``.
+    """
+    own_members = world.members(concept)
+    candidates = [
+        other.name
+        for other in world.iter_concepts()
+        if world.exclusive(concept, other.name) and other.size > 0
+    ]
+    if not candidates:
+        return None
+    weights = np.array(
+        [world.concept(name).popularity for name in candidates], dtype=float
+    )
+    weights /= weights.sum()
+    for _ in range(8):
+        source = candidates[int(rng.choice(len(candidates), p=weights))]
+        pool = [m for m in popular_members(world, source) if m not in own_members]
+        if pool:
+            return pool[int(rng.integers(0, len(pool)))]
+    return None
+
+
+def apply_typo(instance: str, rng: np.random.Generator) -> str:
+    """Corrupt one instance surface (delegates to the vocabulary typo model)."""
+    return make_typo(instance, rng)

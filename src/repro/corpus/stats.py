@@ -1,0 +1,92 @@
+"""Descriptive statistics over a corpus.
+
+Used by examples and by experiment write-ups to report what a generated
+corpus actually contains (the reproduction's analogue of the paper's
+"326,110,911 sentences extracted from 1,679,189,480 web pages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .corpus import Corpus
+from .sentence import SentenceKind
+
+__all__ = ["CorpusStats", "corpus_stats"]
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Aggregate statistics for one corpus."""
+
+    sentences: int
+    distinct_surfaces: int
+    ambiguous: int
+    unambiguous: int
+    misparse: int
+    pages: int
+    instance_mentions: int
+    distinct_instances: int
+    distinct_concepts: int
+    contaminated: int
+    with_typos: int
+
+    @property
+    def ambiguity_rate(self) -> float:
+        """Fraction of sentences with more than one candidate concept."""
+        if self.sentences == 0:
+            return 0.0
+        return self.ambiguous / self.sentences
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Fraction of sentences whose surface repeats an earlier one."""
+        if self.sentences == 0:
+            return 0.0
+        return 1.0 - self.distinct_surfaces / self.sentences
+
+    @property
+    def mentions_per_instance(self) -> float:
+        """Average number of mentions per distinct instance surface."""
+        if self.distinct_instances == 0:
+            return 0.0
+        return self.instance_mentions / self.distinct_instances
+
+
+def corpus_stats(corpus: Corpus) -> CorpusStats:
+    """Compute :class:`CorpusStats` for a corpus."""
+    surfaces: set[str] = set()
+    instances: set[str] = set()
+    concepts: set[str] = set()
+    pages: set[int] = set()
+    ambiguous = misparse = mentions = contaminated = with_typos = 0
+    for sentence in corpus:
+        surfaces.add(sentence.surface)
+        pages.add(sentence.page_id)
+        mentions += len(sentence.instances)
+        instances.update(sentence.instances)
+        concepts.update(sentence.concepts)
+        if sentence.is_ambiguous:
+            ambiguous += 1
+        truth = sentence.truth
+        if truth is not None:
+            if truth.kind is SentenceKind.MISPARSE:
+                misparse += 1
+            if truth.contaminants:
+                contaminated += 1
+            if truth.typos:
+                with_typos += 1
+    total = len(corpus)
+    return CorpusStats(
+        sentences=total,
+        distinct_surfaces=len(surfaces),
+        ambiguous=ambiguous,
+        unambiguous=total - ambiguous,
+        misparse=misparse,
+        pages=len(pages),
+        instance_mentions=mentions,
+        distinct_instances=len(instances),
+        distinct_concepts=len(concepts),
+        contaminated=contaminated,
+        with_typos=with_typos,
+    )

@@ -1,0 +1,25 @@
+"""Evaluation: ground truth, §5 metrics, text reports."""
+
+from .ground_truth import ConceptTruth, GroundTruth
+from .metrics import (
+    CleaningMetrics,
+    DetectionMetrics,
+    cleaning_metrics,
+    detection_metrics,
+    precision_at_k,
+    sentence_check_metrics,
+)
+from .report import format_float, format_table
+
+__all__ = [
+    "CleaningMetrics",
+    "ConceptTruth",
+    "DetectionMetrics",
+    "GroundTruth",
+    "cleaning_metrics",
+    "detection_metrics",
+    "format_float",
+    "format_table",
+    "precision_at_k",
+    "sentence_check_metrics",
+]

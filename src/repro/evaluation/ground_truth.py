@@ -1,0 +1,144 @@
+"""Ground truth for extracted pairs, derived from the generative world.
+
+The paper manually labelled 87 k instances; our world makes ground truth
+exact.  Error taxonomy follows §2.1:
+
+* **correct** — the instance truly belongs to the concept;
+* **drifting error** — it does not, but it belongs to *some* concept (it
+  drifted in from another class);
+* **typo error** — the surface belongs to no concept at all (the paper's
+  *Syngapore* class of errors, which are not drifting errors).
+
+DP ground truth follows Definitions 2–4 operationally, using the KB's own
+trigger provenance:
+
+* **Intentional DP** — a correct instance that triggered ≥ 1 drifting
+  error;
+* **Accidental DP** — a drifting error that triggered ≥ 1 drifting error;
+* **non-DP** — a correct instance that triggered none;
+* drifting errors that triggered nothing (*leaf errors*) and typos have no
+  DP class (``None``) and are excluded from detection metrics, exactly as
+  Table 1's error counts exceed its DP counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kb.store import KnowledgeBase
+from ..labeling.labels import DPLabel
+from ..world.taxonomy import World
+
+__all__ = ["ConceptTruth", "GroundTruth"]
+
+
+@dataclass(frozen=True)
+class ConceptTruth:
+    """Table-1-style ground-truth statistics for one concept."""
+
+    concept: str
+    instances: int
+    correct: int
+    errors: int
+    intentional_dps: int
+    accidental_dps: int
+    non_dps: int
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of extracted instances that are errors."""
+        if self.instances == 0:
+            return 0.0
+        return self.errors / self.instances
+
+
+class GroundTruth:
+    """Oracle over a knowledge base, backed by the generative world."""
+
+    def __init__(self, world: World, kb: KnowledgeBase) -> None:
+        self._world = world
+        self._kb = kb
+        self._dp_cache: dict[tuple[str, str], DPLabel | None] = {}
+
+    @property
+    def world(self) -> World:
+        """The generative world the truth comes from."""
+        return self._world
+
+    # ------------------------------------------------------------------
+    # Pair-level truth
+    # ------------------------------------------------------------------
+    def is_correct(self, concept: str, instance: str) -> bool:
+        """True iff the pair is in the ground-truth taxonomy."""
+        if concept not in self._world:
+            return False
+        return self._world.is_member(concept, instance)
+
+    def is_error(self, concept: str, instance: str) -> bool:
+        """Inverse of :meth:`is_correct`."""
+        return not self.is_correct(concept, instance)
+
+    def is_drifting_error(self, concept: str, instance: str) -> bool:
+        """Wrong here, but a real instance of something else."""
+        return (
+            self.is_error(concept, instance)
+            and bool(self._world.concepts_of(instance))
+        )
+
+    def is_typo_error(self, concept: str, instance: str) -> bool:
+        """Wrong, and the surface exists nowhere in the world."""
+        return (
+            self.is_error(concept, instance)
+            and not self._world.concepts_of(instance)
+        )
+
+    # ------------------------------------------------------------------
+    # DP-level truth
+    # ------------------------------------------------------------------
+    def dp_label(self, concept: str, instance: str) -> DPLabel | None:
+        """Ground-truth DP class (``None`` for leaf errors and typos)."""
+        key = (concept, instance)
+        if key not in self._dp_cache:
+            self._dp_cache[key] = self._compute_dp_label(concept, instance)
+        return self._dp_cache[key]
+
+    def _compute_dp_label(
+        self, concept: str, instance: str
+    ) -> DPLabel | None:
+        correct = self.is_correct(concept, instance)
+        subs = self._kb.sub_instance_counts(concept, instance)
+        triggered_drift = any(
+            self.is_drifting_error(concept, sub) for sub in subs
+        )
+        if triggered_drift:
+            return DPLabel.INTENTIONAL if correct else DPLabel.ACCIDENTAL
+        return DPLabel.NON_DP if correct else None
+
+    # ------------------------------------------------------------------
+    # Concept summaries (Table 1)
+    # ------------------------------------------------------------------
+    def concept_truth(self, concept: str) -> ConceptTruth:
+        """Full ground-truth breakdown of one concept's extractions."""
+        instances = self._kb.instances_of(concept)
+        correct = errors = intentional = accidental = non_dp = 0
+        for instance in instances:
+            if self.is_correct(concept, instance):
+                correct += 1
+            else:
+                errors += 1
+            label = self.dp_label(concept, instance)
+            if label is DPLabel.INTENTIONAL:
+                intentional += 1
+            elif label is DPLabel.ACCIDENTAL:
+                accidental += 1
+            elif label is DPLabel.NON_DP:
+                non_dp += 1
+        return ConceptTruth(
+            concept=concept,
+            instances=len(instances),
+            correct=correct,
+            errors=errors,
+            intentional_dps=intentional,
+            accidental_dps=accidental,
+            non_dps=non_dp,
+        )

@@ -1,0 +1,49 @@
+"""Fixed-width text tables for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Render a float the way the paper's tables do.
+
+    >>> format_float(0.91194)
+    '0.9119'
+    >>> format_float(1.0)
+    '1.0'
+    """
+    if value == int(value):
+        return str(float(value))
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            format_float(value) if isinstance(value, float) else str(value)
+            for value in row
+        ])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(cells):
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Experiment runners: one per table and figure of the paper."""
+
+from .base import ExperimentResult
+from .pipeline import Pipeline, PipelineArtifacts, experiment_config
+from .registry import EXPERIMENTS, experiment_names, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Pipeline",
+    "PipelineArtifacts",
+    "experiment_config",
+    "experiment_names",
+    "run_experiment",
+]

@@ -1,0 +1,27 @@
+"""Experiment runner scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .pipeline import Pipeline
+
+__all__ = ["ExperimentResult", "default_pipeline"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    name: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return f"== {self.title} ==\n{self.text}"
+
+
+def default_pipeline(pipeline: Pipeline | None = None) -> Pipeline:
+    """The paper-scale pipeline unless the caller supplies one."""
+    return pipeline if pipeline is not None else Pipeline()

@@ -1,0 +1,87 @@
+"""Fig. 2 — sub-instance distributions of DPs vs. non-DPs.
+
+The paper plots, for hand-picked triggers under *Animal* (CHICKEN, MONKEY,
+CAT, SNAKE, DOG) plus the class average, the frequency distribution of the
+instances each trigger pulls in.  We reproduce the figure's data for a
+configurable concept: the most active ground-truth Intentional DP and the
+most active non-DPs, each as a normalised distribution over a shared axis
+of the concept's most frequent sub-instances and the most frequent drift
+errors.
+"""
+
+from __future__ import annotations
+
+from ..evaluation.report import format_table
+from ..features.distribution import normalize_counts
+from ..labeling.labels import DPLabel
+from .base import ExperimentResult, default_pipeline
+from .pipeline import Pipeline
+
+__all__ = ["run_figure2"]
+
+
+def run_figure2(
+    pipeline: Pipeline | None = None,
+    concept: str = "animal",
+    num_triggers: int = 4,
+    axis_size: int = 14,
+) -> ExperimentResult:
+    """Regenerate the data behind Fig. 2."""
+    pipeline = default_pipeline(pipeline)
+    artifacts = pipeline.analyze(fit_detector=False)
+    kb = artifacts.kb
+    truth = artifacts.truth
+
+    def activity(instance: str) -> int:
+        return sum(kb.sub_instance_counts(concept, instance).values())
+
+    instances = sorted(kb.instances_of(concept), key=activity, reverse=True)
+    non_dps = [
+        e for e in instances
+        if truth.dp_label(concept, e) is DPLabel.NON_DP and activity(e) > 0
+    ][:num_triggers]
+    dps = [
+        e for e in instances
+        if truth.dp_label(concept, e) is DPLabel.INTENTIONAL
+    ][:max(1, num_triggers // 2)]
+
+    # Shared x-axis: the concept's most frequent correct instances plus the
+    # most frequent drift errors (the paper's horse … pork/milk/meat axis).
+    frequency = kb.frequency_distribution(concept)
+    correct_axis = [
+        e for e, _ in sorted(frequency.items(), key=lambda kv: -kv[1])
+        if truth.is_correct(concept, e)
+    ][: axis_size // 2]
+    error_axis = [
+        e for e, _ in sorted(frequency.items(), key=lambda kv: -kv[1])
+        if truth.is_drifting_error(concept, e)
+    ][: axis_size - len(correct_axis)]
+    axis = correct_axis + error_axis
+
+    series: dict[str, dict[str, float]] = {}
+    for trigger in non_dps + dps:
+        subs = normalize_counts(kb.sub_instance_counts(concept, trigger))
+        series[trigger] = {e: round(subs.get(e, 0.0), 4) for e in axis}
+    average = normalize_counts(
+        {e: float(frequency.get(e, 0)) for e in axis}
+    )
+    series["AVG"] = {e: round(average.get(e, 0.0), 4) for e in axis}
+
+    headers = ("trigger",) + tuple(axis)
+    rows = [
+        (name,) + tuple(values[e] for e in axis)
+        for name, values in series.items()
+    ]
+    return ExperimentResult(
+        name="figure2",
+        title=f"Fig. 2: sub-instance distributions under {concept!r} "
+              "(non-DP triggers resemble AVG; the DP leaks error mass)",
+        text=format_table(headers, rows),
+        data={
+            "concept": concept,
+            "axis": axis,
+            "non_dps": non_dps,
+            "intentional_dps": dps,
+            "series": series,
+        },
+    )

@@ -1,0 +1,74 @@
+"""Fig. 3 — distributions of the four feature values per DP class.
+
+The paper plots f1–f4 for manually labelled Intentional DPs, Accidental
+DPs and non-DPs under *Animal*.  We compute summary statistics (mean and
+quartiles) of each feature per ground-truth class over the target concepts
+(or one chosen concept).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..evaluation.report import format_table
+from ..features import FEATURE_NAMES
+from ..labeling.labels import DPLabel
+from .base import ExperimentResult, default_pipeline
+from .pipeline import Pipeline
+
+__all__ = ["run_figure3"]
+
+_CLASSES = (
+    (DPLabel.NON_DP, "Non-DPs"),
+    (DPLabel.INTENTIONAL, "Intentional DPs"),
+    (DPLabel.ACCIDENTAL, "Accidental DPs"),
+)
+
+
+def run_figure3(
+    pipeline: Pipeline | None = None,
+    concept: str | None = None,
+) -> ExperimentResult:
+    """Regenerate the data behind Fig. 3(a)–(d)."""
+    pipeline = default_pipeline(pipeline)
+    artifacts = pipeline.analyze(fit_detector=False)
+    concepts = (
+        [concept] if concept is not None else list(artifacts.target_concepts)
+    )
+    values: dict[DPLabel, list[np.ndarray]] = {label: [] for label, _ in _CLASSES}
+    for name in concepts:
+        matrix = artifacts.matrices.get(name)
+        if matrix is None:
+            continue
+        for row, instance in enumerate(matrix.instances):
+            label = artifacts.truth.dp_label(name, instance)
+            if label is not None:
+                values[label].append(matrix.x[row])
+    rows = []
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for label, display in _CLASSES:
+        stacked = (
+            np.vstack(values[label]) if values[label] else np.zeros((0, 4))
+        )
+        data[display] = {}
+        for i, feature in enumerate(FEATURE_NAMES):
+            column = stacked[:, i] if stacked.size else np.zeros(1)
+            stats = {
+                "mean": float(column.mean()),
+                "q25": float(np.quantile(column, 0.25)),
+                "median": float(np.quantile(column, 0.5)),
+                "q75": float(np.quantile(column, 0.75)),
+            }
+            data[display][feature] = stats
+            rows.append((
+                display, feature, len(values[label]),
+                round(stats["mean"], 5), round(stats["q25"], 5),
+                round(stats["median"], 5), round(stats["q75"], 5),
+            ))
+    headers = ("class", "feature", "n", "mean", "q25", "median", "q75")
+    return ExperimentResult(
+        name="figure3",
+        title="Fig. 3: feature-value distributions per DP class",
+        text=format_table(headers, rows),
+        data=data,
+    )

@@ -1,0 +1,337 @@
+"""End-to-end pipeline: world → corpus → extraction → indexes → detector.
+
+Every experiment runner consumes :class:`PipelineArtifacts` built here, so
+the whole evaluation is reproducible from a single
+:class:`~repro.config.PipelineConfig` plus a world preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from collections.abc import Mapping
+
+from ..concepts.exclusion import MutualExclusionIndex
+from ..config import ConceptProfile, CorpusConfig, ExtractionConfig, PipelineConfig
+from ..corpus.corpus import Corpus
+from ..corpus.generator import CorpusGenerator
+from ..evaluation.ground_truth import GroundTruth
+from ..extraction.engine import ExtractionResult, SemanticIterativeExtractor
+from ..features.extractor import FeatureExtractor
+from ..features.matrix import ConceptMatrix, build_concept_matrix
+from ..kb.pair import IsAPair
+from ..kb.store import KnowledgeBase
+from ..labeling.evidence import EvidenceIndex
+from ..labeling.labels import DPLabel
+from ..labeling.rules import SeedLabeler, SeedLabelSet
+from ..learning.detector import DPDetector
+from ..nlp.ner import SimulatedNER
+from ..ranking.random_walk import RandomWalkRanker
+from ..rng import RandomStreams
+from ..world.presets import WorldPreset, paper_world
+
+__all__ = ["PipelineArtifacts", "Pipeline", "experiment_config"]
+
+
+def experiment_config(
+    num_sentences: int = 24_000,
+    seed: int = 20140324,
+    profiles: Mapping[str, ConceptProfile] | None = None,
+) -> PipelineConfig:
+    """The configuration the paper-scale experiments run with."""
+    return PipelineConfig(
+        seed=seed,
+        corpus=CorpusConfig(
+            num_sentences=num_sentences,
+            profiles=dict(profiles or {}),
+            default_profile=ConceptProfile(ambiguous_rate=0.65),
+            tail_bias_rate=0.55,
+        ),
+        extraction=ExtractionConfig(stream_chunks=9),
+    )
+
+
+@dataclass
+class PipelineArtifacts:
+    """Everything a pipeline run produced, ready for the experiments."""
+
+    preset: WorldPreset
+    config: PipelineConfig
+    corpus: Corpus
+    extraction: ExtractionResult
+    exclusion: MutualExclusionIndex
+    scores: dict[str, dict[str, float]]
+    features: FeatureExtractor
+    matrices: dict[str, ConceptMatrix]
+    verified: frozenset[IsAPair]
+    evidence: EvidenceIndex
+    seeds: SeedLabelSet
+    truth: GroundTruth
+    detector: DPDetector | None = None
+    _ner: SimulatedNER | None = field(default=None, repr=False)
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        """The (mutable) post-extraction knowledge base."""
+        return self.extraction.kb
+
+    @property
+    def world(self):
+        """The generative ground-truth world."""
+        return self.preset.world
+
+    @property
+    def target_concepts(self) -> tuple[str, ...]:
+        """The evaluation concepts (Table 1's 20 in the paper preset)."""
+        return self.preset.target_concepts
+
+    def concept_instances(self) -> dict[str, frozenset[str]]:
+        """Snapshot of per-concept alive instances (for before/after)."""
+        return {
+            concept: self.kb.instances_of(concept)
+            for concept in self.kb.concepts()
+        }
+
+    def ner(self, accuracy: float = 0.9) -> SimulatedNER:
+        """The simulated NER over this world's gazetteer (cached)."""
+        if self._ner is None or self._ner.accuracy != accuracy:
+            self._ner = SimulatedNER(
+                self.world.gazetteer(), accuracy=accuracy,
+                seed=self.config.seed,
+            )
+        return self._ner
+
+    def diagnose(self, concept: str, instance: str) -> dict:
+        """Everything the pipeline knows about one (concept, instance).
+
+        A debugging/analysis view used by examples and notebooks: ground
+        truth, evidence, features, provenance and (when a detector is
+        fitted) the predicted DP class.
+        """
+        kb = self.kb
+        pair = IsAPair(concept, instance)
+        report: dict = {
+            "concept": concept,
+            "instance": instance,
+            "in_kb": pair in kb,
+            "truth": {
+                "correct": self.truth.is_correct(concept, instance),
+                "drifting_error": self.truth.is_drifting_error(
+                    concept, instance
+                ),
+                "typo_error": self.truth.is_typo_error(concept, instance),
+                "dp_label": getattr(
+                    self.truth.dp_label(concept, instance), "value", None
+                ),
+            },
+        }
+        if pair in kb:
+            report["evidence"] = {
+                "count": kb.count(pair),
+                "core_count": kb.core_count(pair),
+                "first_iteration": kb.first_iteration(pair),
+            }
+            report["sub_instances"] = kb.sub_instance_counts(concept, instance)
+            report["features"] = self.features.extract(
+                concept, instance
+            ).as_tuple()
+            report["random_walk_score"] = self.scores.get(concept, {}).get(
+                instance, 0.0
+            )
+            report["also_under"] = sorted(
+                kb.concepts_with_instance(instance) - {concept}
+            )
+        seed = next(
+            (
+                s.label.value
+                for s in self.seeds.labels_for(concept)
+                if s.instance == instance
+            ),
+            None,
+        )
+        report["seed_label"] = seed
+        if self.detector is not None:
+            report["detected"] = getattr(
+                self.detector.predict_concept(concept).get(instance),
+                "value",
+                None,
+            )
+        return report
+
+
+class Pipeline:
+    """Builds :class:`PipelineArtifacts` deterministically."""
+
+    def __init__(
+        self,
+        preset: WorldPreset | None = None,
+        config: PipelineConfig | None = None,
+        scale: float = 4.0,
+    ) -> None:
+        self._preset = preset or paper_world(scale=scale)
+        if config is None:
+            config = experiment_config(profiles=self._preset.profiles)
+        elif not config.corpus.profiles and self._preset.profiles:
+            config = replace(
+                config,
+                corpus=replace(
+                    config.corpus, profiles=dict(self._preset.profiles)
+                ),
+            )
+        self._config = config
+        self._streams = RandomStreams(config.seed)
+        self._corpus: Corpus | None = None
+
+    @property
+    def preset(self) -> WorldPreset:
+        """The world preset in use."""
+        return self._preset
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The pipeline configuration in use."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def corpus(self) -> Corpus:
+        """Generate (and cache) the corpus."""
+        if self._corpus is None:
+            generator = CorpusGenerator(
+                self._preset.world,
+                self._config.corpus,
+                self._streams.stream("corpus"),
+            )
+            self._corpus = generator.generate()
+        return self._corpus
+
+    def extract(self) -> ExtractionResult:
+        """Run a fresh extraction over the (cached) corpus.
+
+        Extraction is deterministic, so calling this repeatedly yields
+        identical, *independent* knowledge bases — one per cleaner.
+        """
+        extractor = SemanticIterativeExtractor(self._config.extraction)
+        return extractor.run(self.corpus())
+
+    def analyze(
+        self,
+        extraction: ExtractionResult | None = None,
+        fit_detector: bool = True,
+        detector_method: str = "multitask",
+    ) -> PipelineArtifacts:
+        """Build all downstream indexes over one extraction."""
+        extraction = extraction or self.extract()
+        kb = extraction.kb
+        world = self._preset.world
+        exclusion = MutualExclusionIndex(kb, self._config.similarity)
+        concepts = self.analysis_concepts(kb)
+        scores = RandomWalkRanker().score_all(kb, concepts)
+        features = FeatureExtractor(kb, exclusion, scores)
+        matrices = {
+            concept: build_concept_matrix(features, concept)
+            for concept in concepts
+        }
+        verified = self._verified_sample(kb)
+        evidence = EvidenceIndex(
+            kb, exclusion, self._config.labeling, verified=verified
+        )
+        seeds = SeedLabeler(kb, exclusion, evidence).label_all(concepts)
+        truth = GroundTruth(world, kb)
+        detector = None
+        if fit_detector:
+            detector = DPDetector(
+                self._config.detector,
+                method=detector_method,
+                seed=self._streams.stream("detector"),
+            )
+            detector.fit(matrices, seeds)
+        return PipelineArtifacts(
+            preset=self._preset,
+            config=self._config,
+            corpus=extraction.corpus,
+            extraction=extraction,
+            exclusion=exclusion,
+            scores=scores,
+            features=features,
+            matrices=matrices,
+            verified=verified,
+            evidence=evidence,
+            seeds=seeds,
+            truth=truth,
+            detector=detector,
+        )
+
+    def run(self) -> PipelineArtifacts:
+        """Corpus → extraction → full analysis with a fitted detector."""
+        return self.analyze()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def analysis_concepts(self, kb: KnowledgeBase) -> list[str]:
+        """Concepts worth analysing: real world concepts with instances.
+
+        Mis-parse junk concepts (an instance surface acting as a concept)
+        are excluded from detector training, as the paper's 13.5 M mostly
+        tiny concepts were dominated by its one million analysed ones.
+        """
+        world = self._preset.world
+        return sorted(
+            concept for concept in kb.concepts() if concept in world
+        )
+
+    def detect_fn(
+        self,
+        detector_method: str = "multitask",
+        non_dp_bias: float | None = None,
+    ):
+        """Detection callback for the DP cleaner: refit on the current KB.
+
+        Cleaning runs the detector at a high-recall operating point
+        (``cleaning_non_dp_bias``) because the cleaner's guards make false
+        DP flags cheap while missed DPs leave whole cascades in place.
+        """
+        if non_dp_bias is None:
+            non_dp_bias = self._config.cleaning.cleaning_non_dp_bias
+        detector_config = replace(
+            self._config.detector, non_dp_bias=non_dp_bias
+        )
+
+        def detect(kb: KnowledgeBase) -> dict[str, dict[str, DPLabel]]:
+            exclusion = MutualExclusionIndex(kb, self._config.similarity)
+            concepts = self.analysis_concepts(kb)
+            scores = RandomWalkRanker().score_all(kb, concepts)
+            features = FeatureExtractor(kb, exclusion, scores)
+            matrices = {
+                concept: build_concept_matrix(features, concept)
+                for concept in concepts
+            }
+            verified = self._verified_sample(kb)
+            evidence = EvidenceIndex(
+                kb, exclusion, self._config.labeling, verified=verified
+            )
+            seeds = SeedLabeler(kb, exclusion, evidence).label_all(concepts)
+            detector = DPDetector(
+                detector_config,
+                method=detector_method,
+                seed=self._streams.stream("detector"),
+            )
+            detector.fit(matrices, seeds)
+            return detector.predict_all()
+
+        return detect
+
+    def _verified_sample(self, kb: KnowledgeBase) -> frozenset[IsAPair]:
+        """Sample of true pairs standing in for Wikipedia-style sources."""
+        fraction = self._config.labeling.verified_fraction
+        if fraction <= 0:
+            return frozenset()
+        world = self._preset.world
+        rng = self._streams.stream("verified")
+        verified = []
+        for concept in self.analysis_concepts(kb):
+            for instance in sorted(kb.instances_of(concept)):
+                if world.is_member(concept, instance) and rng.random() < fraction:
+                    verified.append(IsAPair(concept, instance))
+        return frozenset(verified)

@@ -1,0 +1,63 @@
+"""Experiment registry: name → runner."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import ExperimentError
+from .ablations import (
+    run_ablation_features,
+    run_ablation_policy,
+    run_ablation_rollback,
+)
+from .base import ExperimentResult
+from .figure2 import run_figure2
+from .figure3 import run_figure3
+from .figure4 import run_figure4
+from .figure5 import run_figure5a, run_figure5b, run_figure5c
+from .pipeline import Pipeline
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+from .threshold_sweep import run_threshold_sweep
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_names"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5a": run_figure5a,
+    "figure5b": run_figure5b,
+    "figure5c": run_figure5c,
+    "ablation_features": run_ablation_features,
+    "ablation_rollback": run_ablation_rollback,
+    "ablation_policy": run_ablation_policy,
+    "threshold_sweep": run_threshold_sweep,
+}
+
+
+def experiment_names() -> list[str]:
+    """All registered experiment names, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    name: str, pipeline: Pipeline | None = None, **kwargs
+) -> ExperimentResult:
+    """Run one experiment by name."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ExperimentError(
+            f"unknown experiment {name!r} (known: {known})"
+        ) from None
+    return runner(pipeline=pipeline, **kwargs)

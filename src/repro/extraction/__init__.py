@@ -1,0 +1,16 @@
+"""Semantic-based iterative extraction substrate."""
+
+from .engine import ExtractionResult, SemanticIterativeExtractor
+from .pattern import HearstParser, ParsedSentence, naive_singularize
+from .trigger import POLICIES, Resolution, resolve
+
+__all__ = [
+    "ExtractionResult",
+    "HearstParser",
+    "POLICIES",
+    "ParsedSentence",
+    "Resolution",
+    "SemanticIterativeExtractor",
+    "naive_singularize",
+    "resolve",
+]

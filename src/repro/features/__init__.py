@@ -1,0 +1,15 @@
+"""The paper's four DP features and design-matrix helpers."""
+
+from .distribution import cosine_counts, normalize_counts
+from .extractor import FEATURE_NAMES, FeatureExtractor, FeatureVector
+from .matrix import ConceptMatrix, build_concept_matrix
+
+__all__ = [
+    "ConceptMatrix",
+    "FEATURE_NAMES",
+    "FeatureExtractor",
+    "FeatureVector",
+    "build_concept_matrix",
+    "cosine_counts",
+    "normalize_counts",
+]

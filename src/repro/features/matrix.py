@@ -1,0 +1,55 @@
+"""Design matrices for detector training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .extractor import FeatureExtractor, FeatureVector
+
+__all__ = ["ConceptMatrix", "build_concept_matrix"]
+
+
+@dataclass(frozen=True)
+class ConceptMatrix:
+    """Raw feature matrix for one concept.
+
+    ``x`` has shape ``(n, 4)``; row ``i`` belongs to ``instances[i]``.
+    """
+
+    concept: str
+    instances: tuple[str, ...]
+    x: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.x.shape != (len(self.instances), 4):
+            raise ValueError(
+                f"matrix shape {self.x.shape} does not match "
+                f"{len(self.instances)} instances"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of instances (rows)."""
+        return len(self.instances)
+
+    def row_of(self, instance: str) -> int:
+        """Row index for an instance name."""
+        try:
+            return self.instances.index(instance)
+        except ValueError:
+            raise KeyError(instance) from None
+
+
+def build_concept_matrix(
+    extractor: FeatureExtractor, concept: str
+) -> ConceptMatrix:
+    """Extract all features of a concept into a matrix."""
+    vectors: list[FeatureVector] = extractor.extract_concept(concept)
+    instances = tuple(v.instance for v in vectors)
+    if vectors:
+        x = np.array([v.as_tuple() for v in vectors], dtype=float)
+    else:
+        x = np.zeros((0, 4), dtype=float)
+    return ConceptMatrix(concept=concept, instances=instances, x=x)

@@ -1,0 +1,21 @@
+"""Knowledge-base substrate: pairs, provenance records, rollback."""
+
+from .pair import IsAPair
+from .record import ExtractionRecord
+from .rollback import RollbackEngine, RollbackResult
+from .serialize import load_kb, save_kb
+from .snapshot import IterationLog, IterationStats
+from .store import KnowledgeBase, PairState
+
+__all__ = [
+    "ExtractionRecord",
+    "IsAPair",
+    "IterationLog",
+    "IterationStats",
+    "KnowledgeBase",
+    "PairState",
+    "RollbackEngine",
+    "RollbackResult",
+    "load_kb",
+    "save_kb",
+]

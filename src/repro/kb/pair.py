@@ -1,0 +1,24 @@
+"""The isA pair value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IsAPair"]
+
+
+@dataclass(frozen=True, order=True)
+class IsAPair:
+    """A ``(concept, instance)`` isA assertion, e.g. ``(animal, dog)``."""
+
+    concept: str
+    instance: str
+
+    def __post_init__(self) -> None:
+        if not self.concept:
+            raise ValueError("pair concept must be non-empty")
+        if not self.instance:
+            raise ValueError("pair instance must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return f"({self.instance} isA {self.concept})"

@@ -1,0 +1,86 @@
+"""Cascading rollback (§4.2 of the paper).
+
+Rolling back an extraction decrements the evidence of every pair the
+sentence produced.  A pair whose evidence reaches zero leaves the knowledge
+base, which may orphan further extractions that were triggered only by that
+pair — those roll back too, iteratively, until a fixpoint.
+
+A record triggered by several pairs survives while *any* trigger is alive:
+the extraction would still have happened with the remaining knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from .pair import IsAPair
+from .store import KnowledgeBase
+
+__all__ = ["RollbackResult", "RollbackEngine"]
+
+
+@dataclass
+class RollbackResult:
+    """What one rollback wave removed."""
+
+    records_rolled_back: list[int] = field(default_factory=list)
+    pairs_removed: list[IsAPair] = field(default_factory=list)
+
+    def merge(self, other: "RollbackResult") -> None:
+        """Fold another wave's result into this one."""
+        self.records_rolled_back.extend(other.records_rolled_back)
+        self.pairs_removed.extend(other.pairs_removed)
+
+    @property
+    def num_records(self) -> int:
+        """Number of extractions rolled back."""
+        return len(self.records_rolled_back)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of pairs removed from the knowledge base."""
+        return len(self.pairs_removed)
+
+
+class RollbackEngine:
+    """Performs cascading rollbacks against a knowledge base."""
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        self._kb = kb
+
+    def rollback_records(self, rids: Iterable[int]) -> RollbackResult:
+        """Roll back the given records and cascade to completion."""
+        result = RollbackResult()
+        worklist = [rid for rid in rids if self._kb.record(rid).active]
+        while worklist:
+            rid = worklist.pop()
+            record = self._kb.record(rid)
+            if not record.active:
+                continue
+            died = self._kb.deactivate_record(rid)
+            result.records_rolled_back.append(rid)
+            result.pairs_removed.extend(died)
+            for pair in died:
+                for dependent in self._kb.records_triggered_by(pair):
+                    if dependent.kill_trigger(pair):
+                        worklist.append(dependent.rid)
+        return result
+
+    def rollback_pair(self, pair: IsAPair) -> RollbackResult:
+        """Drop a pair and roll back everything it activated (§4).
+
+        Used for Accidental DPs, which are wrong extractions themselves.
+        Sibling pairs from the sentences that *produced* the DP are
+        innocent and survive; extractions *triggered by* the DP roll back
+        (cascading), exactly as the paper prescribes.
+        """
+        result = RollbackResult()
+        triggered = self._kb.records_triggered_by(pair)
+        self._kb.remove_pair(pair)
+        result.pairs_removed.append(pair)
+        orphaned = [
+            record.rid for record in triggered if record.kill_trigger(pair)
+        ]
+        result.merge(self.rollback_records(orphaned))
+        return result

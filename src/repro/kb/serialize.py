@@ -1,0 +1,125 @@
+"""Knowledge-base persistence.
+
+Stores the full provenance — every extraction record with its triggers and
+activity flag — so a reloaded knowledge base supports rollback, feature
+extraction and cleaning exactly like the original.  The format is
+line-oriented JSON: one header line, then one line per record (active and
+inactive alike, so removed-pair history survives the round trip).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import KnowledgeBaseError
+from .pair import IsAPair
+from .store import KnowledgeBase
+
+__all__ = ["save_kb", "load_kb"]
+
+_FORMAT = "repro-kb"
+_VERSION = 1
+
+
+def save_kb(kb: KnowledgeBase, path: str | Path) -> None:
+    """Write a knowledge base (with provenance) to a JSONL file."""
+    records = sorted(kb.records(include_inactive=True), key=lambda r: r.rid)
+    header = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "records": len(records),
+        "pairs": len(kb),
+        # Pairs force-removed (e.g. Accidental DPs) while their producing
+        # records stayed active; replay must re-remove them.
+        "removed_pairs": sorted(
+            [pair.concept, pair.instance] for pair in kb.removed_pairs()
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for record in records:
+            row = {
+                "rid": record.rid,
+                "sid": record.sid,
+                "concept": record.concept,
+                "instances": list(record.instances),
+                "triggers": [
+                    [t.concept, t.instance] for t in record.triggers
+                ],
+                "iteration": record.iteration,
+                "active": record.active,
+                "dead_triggers": [
+                    [t.concept, t.instance]
+                    for t in record.triggers
+                    if t not in record.alive_triggers()
+                ],
+            }
+            handle.write(json.dumps(row) + "\n")
+
+
+def load_kb(path: str | Path) -> KnowledgeBase:
+    """Rebuild a knowledge base saved with :func:`save_kb`.
+
+    Records are replayed in rid order; inactive records are replayed and
+    then deactivated, so pair counts, removed-pair history and trigger
+    liveness all match the original.
+    """
+    kb = KnowledgeBase()
+    with open(path, encoding="utf-8") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise KnowledgeBaseError(f"bad KB header in {path}: {exc}") from exc
+        if header.get("format") != _FORMAT:
+            raise KnowledgeBaseError(
+                f"{path} is not a {_FORMAT} file (format="
+                f"{header.get('format')!r})"
+            )
+        if header.get("version") != _VERSION:
+            raise KnowledgeBaseError(
+                f"unsupported KB version {header.get('version')!r}"
+            )
+        to_deactivate: list[int] = []
+        dead_trigger_rows: list[tuple[int, list]] = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                record = kb.add_extraction(
+                    sid=row["sid"],
+                    concept=row["concept"],
+                    instances=tuple(row["instances"]),
+                    triggers=tuple(
+                        IsAPair(concept, instance)
+                        for concept, instance in row["triggers"]
+                    ),
+                    iteration=row["iteration"],
+                )
+            except (KeyError, ValueError, json.JSONDecodeError) as exc:
+                raise KnowledgeBaseError(
+                    f"bad KB record at {path}:{line_number}: {exc}"
+                ) from exc
+            if record.rid != row["rid"]:
+                raise KnowledgeBaseError(
+                    f"record ids are not dense at {path}:{line_number} "
+                    f"(expected {record.rid}, file says {row['rid']})"
+                )
+            if not row.get("active", True):
+                to_deactivate.append(record.rid)
+            if row.get("dead_triggers"):
+                dead_trigger_rows.append((record.rid, row["dead_triggers"]))
+        for rid in to_deactivate:
+            kb.deactivate_record(rid)
+        for rid, dead in dead_trigger_rows:
+            record = kb.record(rid)
+            for concept, instance in dead:
+                record.kill_trigger(IsAPair(concept, instance))
+        for concept, instance in header.get("removed_pairs", ()):
+            pair = IsAPair(concept, instance)
+            if pair in kb:
+                kb.remove_pair(pair)
+    return kb

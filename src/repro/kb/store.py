@@ -1,0 +1,293 @@
+"""The knowledge base: isA pairs with counts, iterations and provenance.
+
+Design notes
+------------
+* Evidence counts are *record-based*: ``count(pair)`` is the number of
+  distinct active sentence extractions producing the pair, matching the
+  paper's "extracted from k different sentences".
+* Pairs die when their count reaches zero; the cascading logic lives in
+  :mod:`repro.kb.rollback`, the store only exposes the primitive mutations.
+* ``first_iteration`` of a pair never changes, even if later records add
+  evidence, so ``E(C, i)`` (the paper's per-iteration snapshots) can always
+  be reconstructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from ..errors import KnowledgeBaseError
+from .pair import IsAPair
+from .record import ExtractionRecord
+
+__all__ = ["PairState", "KnowledgeBase"]
+
+
+@dataclass
+class PairState:
+    """Mutable bookkeeping for one pair."""
+
+    count: int
+    first_iteration: int
+    record_ids: list[int]
+
+
+class KnowledgeBase:
+    """Store of isA pairs with full extraction provenance."""
+
+    def __init__(self) -> None:
+        self._pairs: dict[IsAPair, PairState] = {}
+        self._known: dict[str, set[str]] = {}
+        self._instance_concepts: dict[str, set[str]] = {}
+        self._records: dict[int, ExtractionRecord] = {}
+        self._records_by_trigger: dict[IsAPair, set[int]] = {}
+        self._next_rid = 0
+        self._removed_pairs: set[IsAPair] = set()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def add_extraction(
+        self,
+        sid: int,
+        concept: str,
+        instances: Iterable[str],
+        triggers: Iterable[IsAPair] = (),
+        iteration: int = 1,
+    ) -> ExtractionRecord:
+        """Commit one sentence extraction and return its provenance record."""
+        instances = tuple(instances)
+        triggers = tuple(triggers)
+        if not instances:
+            raise KnowledgeBaseError("an extraction must produce instances")
+        for trigger in triggers:
+            if trigger not in self._pairs:
+                raise KnowledgeBaseError(
+                    f"trigger {trigger} is not in the knowledge base"
+                )
+        record = ExtractionRecord(
+            rid=self._next_rid,
+            sid=sid,
+            concept=concept,
+            instances=instances,
+            triggers=triggers,
+            iteration=iteration,
+        )
+        self._next_rid += 1
+        self._records[record.rid] = record
+        for trigger in triggers:
+            self._records_by_trigger.setdefault(trigger, set()).add(record.rid)
+        for pair in record.produced:
+            state = self._pairs.get(pair)
+            if state is None:
+                self._pairs[pair] = PairState(
+                    count=1, first_iteration=iteration, record_ids=[record.rid]
+                )
+                self._known.setdefault(concept, set()).add(pair.instance)
+                self._instance_concepts.setdefault(pair.instance, set()).add(
+                    concept
+                )
+                self._removed_pairs.discard(pair)
+            else:
+                state.count += 1
+                state.record_ids.append(record.rid)
+        return record
+
+    # ------------------------------------------------------------------
+    # Reading: pairs
+    # ------------------------------------------------------------------
+    def __contains__(self, pair: IsAPair) -> bool:
+        return pair in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def pairs(self) -> Iterator[IsAPair]:
+        """Iterate over all alive pairs."""
+        return iter(self._pairs)
+
+    def count(self, pair: IsAPair) -> int:
+        """Active-evidence count for a pair (0 when absent)."""
+        state = self._pairs.get(pair)
+        return state.count if state is not None else 0
+
+    def first_iteration(self, pair: IsAPair) -> int:
+        """Iteration a pair was first extracted in."""
+        state = self._pairs.get(pair)
+        if state is None:
+            raise KnowledgeBaseError(f"pair not in knowledge base: {pair}")
+        return state.first_iteration
+
+    def concepts(self) -> list[str]:
+        """All concepts with at least one alive instance."""
+        return [c for c, known in self._known.items() if known]
+
+    def instances_of(self, concept: str) -> frozenset[str]:
+        """Alive instances under a concept."""
+        return frozenset(self._known.get(concept, ()))
+
+    def has_instance(self, concept: str, instance: str) -> bool:
+        """True iff ``(concept, instance)`` is alive."""
+        return instance in self._known.get(concept, ())
+
+    def concepts_with_instance(self, instance: str) -> frozenset[str]:
+        """All concepts an instance is currently (alive) extracted under."""
+        return frozenset(self._instance_concepts.get(instance, ()))
+
+    def core_instances(self, concept: str) -> frozenset[str]:
+        """Instances first extracted in iteration 1 (the paper's Core(C))."""
+        return frozenset(
+            pair.instance
+            for pair, state in self._pairs.items()
+            if pair.concept == concept and state.first_iteration == 1
+        )
+
+    def core_count(self, pair: IsAPair) -> int:
+        """Evidence for a pair coming from iteration-1 records only."""
+        state = self._pairs.get(pair)
+        if state is None:
+            return 0
+        return sum(
+            1
+            for rid in state.record_ids
+            if self._records[rid].active and self._records[rid].iteration == 1
+        )
+
+    def instances_by_iteration(self, concept: str, iteration: int) -> frozenset[str]:
+        """``E(C, i)``: instances first learned in or before ``iteration``."""
+        return frozenset(
+            pair.instance
+            for pair, state in self._pairs.items()
+            if pair.concept == concept and state.first_iteration <= iteration
+        )
+
+    def removed_pairs(self) -> frozenset[IsAPair]:
+        """Pairs that existed once but were rolled back to zero evidence."""
+        return frozenset(self._removed_pairs)
+
+    # ------------------------------------------------------------------
+    # Reading: records / provenance
+    # ------------------------------------------------------------------
+    def record(self, rid: int) -> ExtractionRecord:
+        """Look up a record by id."""
+        try:
+            return self._records[rid]
+        except KeyError:
+            raise KnowledgeBaseError(f"no record with rid {rid}") from None
+
+    def records(self, include_inactive: bool = False) -> Iterator[ExtractionRecord]:
+        """Iterate over records (active only, by default)."""
+        for record in self._records.values():
+            if include_inactive or record.active:
+                yield record
+
+    def records_for_pair(self, pair: IsAPair) -> list[ExtractionRecord]:
+        """Active records that produced a pair."""
+        state = self._pairs.get(pair)
+        if state is None:
+            return []
+        return [
+            self._records[rid]
+            for rid in state.record_ids
+            if self._records[rid].active
+        ]
+
+    def records_triggered_by(self, pair: IsAPair) -> list[ExtractionRecord]:
+        """Active records that list ``pair`` among their triggers."""
+        return [
+            self._records[rid]
+            for rid in self._records_by_trigger.get(pair, ())
+            if self._records[rid].active
+        ]
+
+    def sub_instance_counts(self, concept: str, instance: str) -> dict[str, int]:
+        """Frequency of sub-instances triggered by ``(concept, instance)``.
+
+        ``sub(e)`` in the paper: instances extracted from sentences whose
+        resolution was triggered by ``e`` under the same concept, counted
+        per active record.  Co-instances that were already known still
+        count — Fig. 2 of the paper shows non-DP triggers re-extracting
+        popular core instances, which is exactly what makes their
+        sub-instance distribution resemble the class distribution.
+        """
+        trigger = IsAPair(concept, instance)
+        triggered = self.records_triggered_by(trigger)
+        counts: dict[str, int] = {}
+        for record in triggered:
+            for other in record.instances:
+                if other != instance:
+                    counts[other] = counts.get(other, 0) + 1
+        return counts
+
+    def frequency_distribution(self, concept: str) -> dict[str, int]:
+        """Evidence counts for every alive instance under a concept."""
+        return {
+            pair.instance: state.count
+            for pair, state in self._pairs.items()
+            if pair.concept == concept
+        }
+
+    def core_frequency_distribution(self, concept: str) -> dict[str, int]:
+        """Iteration-1 evidence counts for core instances of a concept."""
+        result: dict[str, int] = {}
+        for pair, state in self._pairs.items():
+            if pair.concept != concept or state.first_iteration != 1:
+                continue
+            core = self.core_count(pair)
+            if core > 0:
+                result[pair.instance] = core
+        return result
+
+    # ------------------------------------------------------------------
+    # Primitive mutation (used by the rollback engine)
+    # ------------------------------------------------------------------
+    def remove_pair(self, pair: IsAPair) -> None:
+        """Force-remove a pair regardless of remaining evidence.
+
+        Producing records stay active (their sibling pairs are innocent);
+        the caller must handle records *triggered by* the pair.
+        """
+        if pair not in self._pairs:
+            raise KnowledgeBaseError(f"pair not in knowledge base: {pair}")
+        del self._pairs[pair]
+        self._drop_indexes(pair)
+        self._removed_pairs.add(pair)
+
+    def _drop_indexes(self, pair: IsAPair) -> None:
+        self._known[pair.concept].discard(pair.instance)
+        concepts = self._instance_concepts.get(pair.instance)
+        if concepts is not None:
+            concepts.discard(pair.concept)
+            if not concepts:
+                del self._instance_concepts[pair.instance]
+
+    def deactivate_record(self, rid: int) -> list[IsAPair]:
+        """Deactivate a record; return pairs whose evidence dropped to zero.
+
+        Dead pairs are removed from the store.  The caller (the rollback
+        engine) is responsible for cascading into records triggered by the
+        dead pairs.
+        """
+        record = self.record(rid)
+        if not record.active:
+            raise KnowledgeBaseError(f"record {rid} is already inactive")
+        record.active = False
+        died: list[IsAPair] = []
+        for pair in record.produced:
+            state = self._pairs.get(pair)
+            if state is None:
+                continue
+            state.count -= 1
+            if state.count <= 0:
+                del self._pairs[pair]
+                self._drop_indexes(pair)
+                self._removed_pairs.add(pair)
+                died.append(pair)
+        return died
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KnowledgeBase(pairs={len(self._pairs)}, "
+            f"records={len(self._records)})"
+        )

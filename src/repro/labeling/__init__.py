@@ -1,0 +1,15 @@
+"""Seed labelling: evidence, heuristic rules, label taxonomy."""
+
+from .evidence import EvidenceIndex
+from .labels import DPLabel, SeedLabel, label_to_vector, vector_to_label
+from .rules import SeedLabeler, SeedLabelSet
+
+__all__ = [
+    "DPLabel",
+    "EvidenceIndex",
+    "SeedLabel",
+    "SeedLabelSet",
+    "SeedLabeler",
+    "label_to_vector",
+    "vector_to_label",
+]

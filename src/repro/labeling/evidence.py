@@ -1,0 +1,90 @@
+"""Evidenced correct / incorrect instances (§3.2.2).
+
+* **Evidenced correct** for ``C``: the pair came from a verified source
+  (optional, e.g. a Wikipedia-like sample) or was extracted from more than
+  ``k`` distinct sentences in the first iteration.
+* **Evidenced incorrect** for ``C``: the instance was extracted for ``C``
+  exactly once, in a later iteration than the first, while being an
+  evidenced *correct* instance of some concept mutually exclusive with
+  ``C`` (the paper's *New York isA country* case).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..concepts.exclusion import MutualExclusionIndex
+from ..config import LabelingConfig
+from ..kb.pair import IsAPair
+from ..kb.store import KnowledgeBase
+
+__all__ = ["EvidenceIndex"]
+
+
+class EvidenceIndex:
+    """Answers evidenced-correct / evidenced-incorrect queries."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        exclusion: MutualExclusionIndex,
+        config: LabelingConfig | None = None,
+        verified: Iterable[IsAPair] = (),
+    ) -> None:
+        self._kb = kb
+        self._exclusion = exclusion
+        self._config = config or LabelingConfig()
+        self._verified = frozenset(verified)
+        self._correct_cache: dict[str, frozenset[str]] = {}
+
+    @property
+    def threshold(self) -> int:
+        """The evidence threshold ``k``."""
+        return self._config.evidence_threshold_k
+
+    def evidenced_correct(self, concept: str) -> frozenset[str]:
+        """All evidenced-correct instances of a concept."""
+        cached = self._correct_cache.get(concept)
+        if cached is not None:
+            return cached
+        names = set()
+        for instance in self._kb.instances_of(concept):
+            if self.is_evidenced_correct(concept, instance):
+                names.add(instance)
+        result = frozenset(names)
+        self._correct_cache[concept] = result
+        return result
+
+    def is_evidenced_correct(self, concept: str, instance: str) -> bool:
+        """Verified source, or frequent (> k sentences) in iteration 1."""
+        pair = IsAPair(concept, instance)
+        if pair in self._verified:
+            return True
+        return self._kb.core_count(pair) > self._config.evidence_threshold_k
+
+    def is_evidenced_incorrect(self, concept: str, instance: str) -> bool:
+        """One late, accidental extraction of another exclusive concept's
+        evidenced instance."""
+        pair = IsAPair(concept, instance)
+        if pair not in self._kb:
+            return False
+        if self._kb.count(pair) != 1:
+            return False
+        if self._kb.first_iteration(pair) <= 1:
+            return False
+        for other in self._kb.concepts_with_instance(instance):
+            if other == concept:
+                continue
+            if not self._exclusion.exclusive(concept, other):
+                continue
+            if self.is_evidenced_correct(other, instance):
+                return True
+        return False
+
+    def evidenced_incorrect(self, concept: str) -> frozenset[str]:
+        """All evidenced-incorrect instances of a concept."""
+        return frozenset(
+            instance
+            for instance in self._kb.instances_of(concept)
+            if self.is_evidenced_incorrect(concept, instance)
+        )

@@ -1,0 +1,33 @@
+"""DP-detector learning: kernel PCA, Algorithm 1, baselines."""
+
+from .adhoc import AdHocDetector
+from .decision_tree import DecisionTreeClassifier
+from .detector import DETECTION_METHODS, DPDetector
+from .kernels import get_kernel, linear_kernel, polynomial_kernel, rbf_kernel
+from .kpca import KernelPCA
+from .local_predictor import knn_indices, local_laplacian, manifold_matrix
+from .multitask import MultiTaskResult, MultiTaskTrainer
+from .random_forest import RandomForestClassifier
+from .semisupervised import solve_semisupervised
+from .training_data import ConceptTrainingData, build_training_data
+
+__all__ = [
+    "AdHocDetector",
+    "ConceptTrainingData",
+    "DETECTION_METHODS",
+    "DPDetector",
+    "DecisionTreeClassifier",
+    "KernelPCA",
+    "MultiTaskResult",
+    "MultiTaskTrainer",
+    "RandomForestClassifier",
+    "build_training_data",
+    "get_kernel",
+    "knn_indices",
+    "linear_kernel",
+    "local_laplacian",
+    "manifold_matrix",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "solve_semisupervised",
+]

@@ -1,0 +1,104 @@
+"""Ad-hoc single-property detectors (Table 4 rows 1–4).
+
+Each detector thresholds exactly one of the four features, with the
+threshold learned from the seed labels (best F1 on DP-vs-non-DP over a
+quantile grid) — the paper's "designed based on an individual property
+with a well-learned threshold".
+
+A single property cannot tell Intentional from Accidental DPs, so flagged
+instances are assigned a kind with the natural secondary heuristic: a DP
+whose own random-walk score is high is a correct instance of the class
+(Intentional); a low score marks an Accidental DP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError
+from ..labeling.labels import DPLabel
+
+__all__ = ["AdHocDetector"]
+
+#: For each property: (feature index, flag side). ``low`` flags instances
+#: whose feature is *below* the threshold, ``high`` above.
+_PROPERTY_RULES = {
+    1: (0, "low"),   # f1: DPs trigger distributions unlike the class
+    2: (1, "high"),  # f2: membership in mutually exclusive concepts
+    3: (2, "low"),   # f3: accidental DPs have weak evidence
+    4: (3, "low"),   # f4: DP-triggered extractions have weak evidence
+}
+
+
+class AdHocDetector:
+    """Threshold detector over one DP property."""
+
+    def __init__(self, property_id: int) -> None:
+        if property_id not in _PROPERTY_RULES:
+            raise LearningError("property_id must be 1, 2, 3 or 4")
+        self.property_id = property_id
+        self._feature, self._side = _PROPERTY_RULES[property_id]
+        self._threshold: float | None = None
+        self._score_split: float = 0.0
+
+    @property
+    def threshold(self) -> float:
+        """The learned threshold (raises before fit)."""
+        if self._threshold is None:
+            raise LearningError("detector is not fitted")
+        return self._threshold
+
+    def fit(self, x: np.ndarray, is_dp: np.ndarray) -> "AdHocDetector":
+        """Learn the threshold maximising DP-detection F1 on seeds."""
+        x = np.asarray(x, dtype=float)
+        is_dp = np.asarray(is_dp, dtype=bool)
+        if x.shape[0] == 0:
+            raise LearningError("cannot fit on empty seed data")
+        values = x[:, self._feature]
+        candidates = np.unique(
+            np.quantile(values, np.linspace(0.02, 0.98, 49))
+        )
+        best_f1 = -1.0
+        best_threshold = float(np.median(values))
+        for candidate in candidates:
+            flagged = self._flag(values, candidate)
+            f1 = _binary_f1(flagged, is_dp)
+            if f1 > best_f1:
+                best_f1 = f1
+                best_threshold = float(candidate)
+        self._threshold = best_threshold
+        scores = x[:, 2]
+        self._score_split = float(np.median(scores[is_dp])) if is_dp.any() else 0.0
+        return self
+
+    def predict(self, x: np.ndarray) -> list[DPLabel]:
+        """Label every row of ``x``."""
+        if self._threshold is None:
+            raise LearningError("detector is not fitted")
+        x = np.asarray(x, dtype=float)
+        flagged = self._flag(x[:, self._feature], self._threshold)
+        labels = []
+        for i, is_dp in enumerate(flagged):
+            if not is_dp:
+                labels.append(DPLabel.NON_DP)
+            elif x[i, 2] > self._score_split:
+                labels.append(DPLabel.INTENTIONAL)
+            else:
+                labels.append(DPLabel.ACCIDENTAL)
+        return labels
+
+    def _flag(self, values: np.ndarray, threshold: float) -> np.ndarray:
+        if self._side == "low":
+            return values < threshold
+        return values > threshold
+
+
+def _binary_f1(predicted: np.ndarray, actual: np.ndarray) -> float:
+    tp = float((predicted & actual).sum())
+    fp = float((predicted & ~actual).sum())
+    fn = float((~predicted & actual).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,157 @@
+"""A small CART decision tree (Gini impurity).
+
+scikit-learn is not available offline, so the paper's supervised baseline
+(Random Forest, §5.4) is built from scratch on top of this tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LearningError, NotFittedError
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    prediction: np.ndarray  # class-probability vector
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART tree over dense features.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (``None`` = unbounded).
+    min_samples_split:
+        Minimum node size eligible for a split.
+    max_features:
+        Features considered per split (``None`` = all) — randomised per
+        node when an ``rng`` is given, which is what the forest relies on.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        max_features: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise LearningError("min_samples_split must be >= 2")
+        self._max_depth = max_depth
+        self._min_samples_split = min_samples_split
+        self._max_features = max_features
+        self._rng = rng
+        self._root: _Node | None = None
+        self._n_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit on rows ``x`` with integer class labels ``y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise LearningError("x and y must be non-empty and aligned")
+        self._n_classes = int(y.max()) + 1
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability rows for ``x``."""
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier")
+        x = np.asarray(x, dtype=float)
+        return np.array([self._walk(row) for row in x])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Arg-max class per row."""
+        return self.predict_proba(x).argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(y, minlength=self._n_classes).astype(float)
+        node = _Node(prediction=counts / counts.sum())
+        if (
+            (self._max_depth is not None and depth >= self._max_depth)
+            or x.shape[0] < self._min_samples_split
+            or counts.max() == counts.sum()
+        ):
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        n, d = x.shape
+        features = np.arange(d)
+        if self._max_features is not None and self._max_features < d:
+            if self._rng is None:
+                features = features[: self._max_features]
+            else:
+                features = self._rng.choice(
+                    d, size=self._max_features, replace=False
+                )
+        parent_counts = np.bincount(y, minlength=self._n_classes).astype(float)
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        parent_impurity = _gini(parent_counts)
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            values = x[order, feature]
+            labels = y[order]
+            left_counts = np.zeros(self._n_classes)
+            right_counts = parent_counts.copy()
+            for i in range(n - 1):
+                label = labels[i]
+                left_counts[label] += 1
+                right_counts[label] -= 1
+                if values[i] == values[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                gain = parent_impurity - (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float((values[i] + values[i + 1]) / 2))
+        return best
+
+    def _walk(self, row: np.ndarray) -> np.ndarray:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction

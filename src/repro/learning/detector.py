@@ -1,0 +1,284 @@
+"""DP detector facade (§3.3 + the Table 4 baselines).
+
+One entry point covers every detection method the paper evaluates:
+
+* ``multitask`` — kernel PCA + semi-supervised multi-task least squares
+  (Algorithm 1), the paper's method;
+* ``semisupervised`` — the same without cross-concept coupling (Eq. 15);
+* ``supervised`` — a random forest on the raw features, pooled across
+  concepts (the conventional baseline);
+* ``adhoc1`` … ``adhoc4`` — single-property threshold detectors.
+
+Concepts whose seed set is empty (a third of concepts in the paper) fall
+back to a *pooled* detector trained on the union of all seeds — the
+practical necessity the paper's multi-task motivation points at.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from ..config import DetectorConfig
+from ..errors import LearningError, NotFittedError
+from ..features.matrix import ConceptMatrix
+from ..labeling.labels import DPLabel, vector_to_label
+from ..labeling.rules import SeedLabelSet
+from ..rng import generator_from
+from .adhoc import AdHocDetector
+from .kpca import KernelPCA
+from .multitask import MultiTaskTrainer
+from .random_forest import RandomForestClassifier
+from .semisupervised import solve_semisupervised
+from .training_data import ConceptTrainingData, build_training_data
+
+__all__ = ["DPDetector", "DETECTION_METHODS"]
+
+DETECTION_METHODS = (
+    "multitask",
+    "semisupervised",
+    "supervised",
+    "adhoc1",
+    "adhoc2",
+    "adhoc3",
+    "adhoc4",
+)
+
+_CLASS_ORDER = (DPLabel.INTENTIONAL, DPLabel.ACCIDENTAL, DPLabel.NON_DP)
+
+
+class DPDetector:
+    """Classifies every (concept, instance) as Intentional / Accidental / non-DP."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        method: str = "multitask",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if method not in DETECTION_METHODS:
+            known = ", ".join(DETECTION_METHODS)
+            raise LearningError(f"unknown method {method!r} (known: {known})")
+        self._config = config or DetectorConfig()
+        self._method = method
+        self._rng = generator_from(seed)
+        self._matrices: dict[str, ConceptMatrix] = {}
+        self._transformed: dict[str, np.ndarray] = {}
+        self._weights: dict[str, np.ndarray] = {}
+        self._pooled_weight: np.ndarray | None = None
+        self._forest: RandomForestClassifier | None = None
+        self._adhoc: AdHocDetector | None = None
+        self._kpca: KernelPCA | None = None
+        self._datasets: dict[str, ConceptTrainingData] = {}
+        self.accuracy_history: list[float] = []
+        self.objective_history: list[float] = []
+        self._fitted = False
+
+    @property
+    def method(self) -> str:
+        """The detection method in use."""
+        return self._method
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        matrices: Mapping[str, ConceptMatrix],
+        seeds: SeedLabelSet,
+        eval_fn: Callable[["DPDetector"], float] | None = None,
+    ) -> "DPDetector":
+        """Train on per-concept matrices and automatically labelled seeds.
+
+        ``eval_fn`` (multitask only) is called after each training
+        iteration with the partially trained detector; its return values
+        populate :attr:`accuracy_history` (Fig. 5c).
+        """
+        self._matrices = dict(matrices)
+        if not self._matrices:
+            raise LearningError("no concept matrices supplied")
+        if self._method in ("supervised",) or self._method.startswith("adhoc"):
+            self._fit_raw_baseline(seeds)
+            self._fitted = True
+            return self
+        self._fit_kpca()
+        self._build_datasets(seeds)
+        labelled = [d for d in self._datasets.values() if d.n_labeled > 0]
+        if not labelled:
+            raise LearningError("no concept has labelled seeds")
+        self._fit_pooled(labelled)
+        if self._method == "multitask":
+            trainer = MultiTaskTrainer(
+                lam=self._config.lam,
+                beta=self._config.beta,
+                gamma=self._config.gamma,
+                iterations=self._config.training_iterations,
+                tolerance=self._config.tolerance,
+                seed=self._rng,
+            )
+            wrapped = None
+            if eval_fn is not None:
+                wrapped = self._wrap_eval(eval_fn)
+            result = trainer.fit(labelled, eval_fn=wrapped)
+            self._weights = result.weights
+            self.objective_history = result.objective_history
+            self.accuracy_history = result.accuracy_history
+        else:  # semisupervised: independent closed forms
+            self._weights = {
+                d.concept: solve_semisupervised(
+                    d, lam=self._config.lam, beta=self._config.beta
+                )
+                for d in labelled
+            }
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_concept(self, concept: str) -> dict[str, DPLabel]:
+        """Label every instance of one concept."""
+        if not self._fitted:
+            raise NotFittedError("DPDetector")
+        matrix = self._matrices.get(concept)
+        if matrix is None:
+            raise LearningError(f"concept {concept!r} was not fitted")
+        if matrix.size == 0:
+            return {}
+        if self._method == "supervised":
+            classes = self._forest.predict(matrix.x)
+            return {
+                name: _CLASS_ORDER[int(c)]
+                for name, c in zip(matrix.instances, classes)
+            }
+        if self._method.startswith("adhoc"):
+            labels = self._adhoc.predict(matrix.x)
+            return dict(zip(matrix.instances, labels))
+        weight = self._weights.get(concept, self._pooled_weight)
+        scores = self._transformed[concept] @ weight
+        if self._config.non_dp_bias:
+            # High-recall operating point: handicap the non-DP class so
+            # borderline instances are surfaced as DP candidates.  The
+            # DP cleaner's definition-level guards and Eq. 21 arbitration
+            # absorb the extra false positives.
+            scores = scores.copy()
+            scores[:, 2] -= self._config.non_dp_bias
+        return {
+            name: vector_to_label(row)
+            for name, row in zip(matrix.instances, scores)
+        }
+
+    def predict_all(self) -> dict[str, dict[str, DPLabel]]:
+        """Labels for every fitted concept."""
+        return {
+            concept: self.predict_concept(concept) for concept in self._matrices
+        }
+
+    def detected_dps(self, concept: str) -> dict[str, DPLabel]:
+        """Only the instances flagged as DPs under a concept."""
+        return {
+            name: label
+            for name, label in self.predict_concept(concept).items()
+            if label.is_dp
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fit_kpca(self) -> None:
+        pooled = np.vstack([
+            m.x for m in self._matrices.values() if m.size > 0
+        ])
+        # Features live on very different scales (f2 counts vs. 1e-3 walk
+        # probabilities); z-score them so no dimension dominates the kernel.
+        self._feature_mean = pooled.mean(axis=0)
+        self._feature_std = np.maximum(pooled.std(axis=0), 1e-9)
+        pooled = (pooled - self._feature_mean) / self._feature_std
+        self._kpca = KernelPCA.fit_on_sample(
+            pooled,
+            n_components=self._config.kpca_components,
+            kernel=self._config.kpca_kernel,
+            gamma=self._config.kpca_gamma,
+            sample_size=self._config.kpca_sample_size,
+            seed=self._rng,
+        )
+        self._transformed = {
+            concept: self._kpca.transform(
+                (matrix.x - self._feature_mean) / self._feature_std
+            )
+            for concept, matrix in self._matrices.items()
+        }
+
+    def _build_datasets(self, seeds: SeedLabelSet) -> None:
+        class_weights = None
+        if self._config.class_balance:
+            counts = seeds.counts()
+            totals = np.array(
+                [max(1, counts.get(label, 0)) for label in _CLASS_ORDER],
+                dtype=float,
+            )
+            class_weights = totals.sum() / (3.0 * totals)
+        self._datasets = {}
+        for concept, matrix in self._matrices.items():
+            if matrix.size == 0:
+                continue
+            self._datasets[concept] = build_training_data(
+                matrix,
+                self._transformed[concept],
+                seeds.labels_for(concept),
+                k_neighbors=self._config.k_neighbors,
+                local_reg=self._config.local_reg,
+                class_weights=class_weights,
+            )
+
+    def _fit_pooled(self, labelled: list[ConceptTrainingData]) -> None:
+        """Fallback detector for concepts without their own seeds."""
+        weighted = [d.weighted_rows() for d in labelled]
+        x_rows = np.vstack([x for x, _ in weighted])
+        y_rows = np.vstack([y for _, y in weighted])
+        r = x_rows.shape[1]
+        mean_a = np.zeros((r, r))
+        for data in labelled:
+            mean_a += data.a
+        mean_a /= len(labelled)
+        lam, beta = self._config.lam, self._config.beta
+        lhs = x_rows.T @ x_rows + lam * mean_a + lam * beta * np.eye(r)
+        self._pooled_weight = np.linalg.solve(lhs, x_rows.T @ y_rows)
+
+    def _fit_raw_baseline(self, seeds: SeedLabelSet) -> None:
+        rows = []
+        classes = []
+        for concept, matrix in self._matrices.items():
+            index = {name: i for i, name in enumerate(matrix.instances)}
+            for seed in seeds.labels_for(concept):
+                row = index.get(seed.instance)
+                if row is None:
+                    continue
+                rows.append(matrix.x[row])
+                classes.append(_CLASS_ORDER.index(seed.label))
+        if not rows:
+            raise LearningError("no seeds align with the supplied matrices")
+        x = np.vstack(rows)
+        y = np.array(classes, dtype=int)
+        if self._method == "supervised":
+            self._forest = RandomForestClassifier(
+                n_trees=50, max_depth=8, seed=self._rng
+            )
+            self._forest.fit(x, y)
+        else:
+            property_id = int(self._method[-1])
+            is_dp = y != _CLASS_ORDER.index(DPLabel.NON_DP)
+            self._adhoc = AdHocDetector(property_id).fit(x, is_dp)
+
+    def _wrap_eval(
+        self, eval_fn: Callable[["DPDetector"], float]
+    ) -> Callable[[Mapping[str, np.ndarray]], float]:
+        def wrapped(weights: Mapping[str, np.ndarray]) -> float:
+            self._weights = dict(weights)
+            if self._pooled_weight is None and weights:
+                self._pooled_weight = next(iter(weights.values()))
+            self._fitted = True
+            return eval_fn(self)
+
+        return wrapped

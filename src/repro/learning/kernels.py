@@ -1,0 +1,58 @@
+"""Kernel functions for the non-linear mapping of §3.3.1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError
+
+__all__ = ["rbf_kernel", "linear_kernel", "polynomial_kernel", "get_kernel"]
+
+
+def rbf_kernel(
+    a: np.ndarray, b: np.ndarray, gamma: float | None = None
+) -> np.ndarray:
+    """Gaussian kernel ``exp(-gamma * ||a_i - b_j||²)``.
+
+    ``gamma`` defaults to ``1 / (d * var)`` with ``var`` the variance of
+    ``a`` (the scikit-learn "scale" heuristic), which keeps the kernel
+    well-conditioned across feature scales.
+    """
+    if gamma is None:
+        variance = float(a.var()) if a.size else 1.0
+        gamma = 1.0 / (a.shape[1] * variance) if variance > 0 else 1.0
+    sq_a = (a * a).sum(axis=1)[:, None]
+    sq_b = (b * b).sum(axis=1)[None, :]
+    distances = sq_a + sq_b - 2.0 * (a @ b.T)
+    np.maximum(distances, 0.0, out=distances)
+    return np.exp(-gamma * distances)
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray, gamma: float | None = None) -> np.ndarray:
+    """Plain inner-product kernel (``gamma`` ignored)."""
+    return a @ b.T
+
+
+def polynomial_kernel(
+    a: np.ndarray, b: np.ndarray, gamma: float | None = None, degree: int = 3
+) -> np.ndarray:
+    """Polynomial kernel ``(gamma * <a, b> + 1)^degree``."""
+    if gamma is None:
+        gamma = 1.0 / a.shape[1] if a.shape[1] else 1.0
+    return (gamma * (a @ b.T) + 1.0) ** degree
+
+
+_KERNELS = {
+    "rbf": rbf_kernel,
+    "linear": linear_kernel,
+    "poly": polynomial_kernel,
+}
+
+
+def get_kernel(name: str):
+    """Look up a kernel function by name."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(_KERNELS))
+        raise LearningError(f"unknown kernel {name!r} (known: {known})") from None

@@ -1,0 +1,109 @@
+"""Kernel PCA (§3.3.1).
+
+The paper transforms the four raw features into a Hilbert-space
+representation via full-rank kernel PCA so that no single dimension (in
+practice the mutual-exclusion count ``f2``, which the labelling rules are
+biased towards) dominates the detector.
+
+One deliberate deviation, documented in DESIGN.md: the basis is fitted on
+a *pooled sample across concepts* rather than per concept.  The multi-task
+coupling of §3.3.2 requires all concepts' detectors to live in the same
+feature space; a shared basis is the consistent reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError, NotFittedError
+from ..rng import generator_from
+from .kernels import get_kernel
+
+__all__ = ["KernelPCA"]
+
+
+class KernelPCA:
+    """Kernel principal component analysis with a centred kernel."""
+
+    def __init__(
+        self,
+        n_components: int = 8,
+        kernel: str = "rbf",
+        gamma: float | None = None,
+    ) -> None:
+        if n_components < 1:
+            raise LearningError("n_components must be >= 1")
+        self._n_components = n_components
+        self._kernel_name = kernel
+        self._kernel = get_kernel(kernel)
+        self._gamma = gamma
+        self._fit_x: np.ndarray | None = None
+        self._alphas: np.ndarray | None = None
+        self._column_means: np.ndarray | None = None
+        self._total_mean: float = 0.0
+
+    @property
+    def n_components(self) -> int:
+        """Number of components retained after fitting (may shrink)."""
+        if self._alphas is None:
+            return self._n_components
+        return self._alphas.shape[1]
+
+    def fit(self, x: np.ndarray) -> "KernelPCA":
+        """Fit the basis on sample rows ``x`` (n × d)."""
+        if x.ndim != 2 or x.shape[0] < 2:
+            raise LearningError("KernelPCA.fit needs at least two samples")
+        self._fit_x = np.asarray(x, dtype=float)
+        n = self._fit_x.shape[0]
+        k = self._kernel(self._fit_x, self._fit_x, self._gamma)
+        self._column_means = k.mean(axis=0)
+        self._total_mean = float(k.mean())
+        centred = (
+            k
+            - self._column_means[None, :]
+            - self._column_means[:, None]
+            + self._total_mean
+        )
+        eigenvalues, eigenvectors = np.linalg.eigh(centred)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = eigenvalues[order]
+        eigenvectors = eigenvectors[:, order]
+        keep = min(self._n_components, int((eigenvalues > 1e-10).sum()))
+        if keep < 1:
+            raise LearningError("kernel matrix has no positive eigenvalues")
+        # Normalise so projections have unit-eigenvalue scaling.
+        self._alphas = eigenvectors[:, :keep] / np.sqrt(eigenvalues[:keep])
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project rows of ``x`` onto the fitted components."""
+        if self._alphas is None or self._fit_x is None:
+            raise NotFittedError("KernelPCA")
+        x = np.asarray(x, dtype=float)
+        if x.size == 0:
+            return np.zeros((0, self.n_components))
+        k = self._kernel(x, self._fit_x, self._gamma)
+        row_means = k.mean(axis=1, keepdims=True)
+        centred = k - self._column_means[None, :] - row_means + self._total_mean
+        return centred @ self._alphas
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and return its projection."""
+        return self.fit(x).transform(x)
+
+    @classmethod
+    def fit_on_sample(
+        cls,
+        x: np.ndarray,
+        n_components: int = 8,
+        kernel: str = "rbf",
+        gamma: float | None = None,
+        sample_size: int = 600,
+        seed: int | np.random.Generator | None = None,
+    ) -> "KernelPCA":
+        """Fit on a random row sample (keeps the eigenproblem small)."""
+        rng = generator_from(seed)
+        if x.shape[0] > sample_size:
+            picked = rng.choice(x.shape[0], size=sample_size, replace=False)
+            x = x[np.sort(picked)]
+        return cls(n_components=n_components, kernel=kernel, gamma=gamma).fit(x)

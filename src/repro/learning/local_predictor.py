@@ -1,0 +1,72 @@
+"""The manifold regulariser from local predictors (Eqs. 9–14, 17).
+
+For each instance (labelled or not) a local linear predictor is fitted over
+its ``k``-nearest neighbours; disagreement between local predictors and the
+global classifier is penalised.  Eliminating the local predictors in closed
+form leaves the quadratic penalty ``Tr(Wᵀ A W)`` with
+
+    A = X̃ · ( Σᵢ Sᵢ Lᵢ Sᵢᵀ ) · X̃ᵀ,
+    Lᵢ = H − H X̃ᵢᵀ (X̃ᵢ H X̃ᵢᵀ + λI)⁻¹ X̃ᵢ H,
+
+where ``X̃ᵢ`` collects instance *i* and its neighbours and ``H`` is the
+centring matrix.  This is how unlabelled instances shape the detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError
+
+__all__ = ["knn_indices", "local_laplacian", "manifold_matrix"]
+
+
+def knn_indices(x: np.ndarray, k: int) -> np.ndarray:
+    """Index matrix of each row's ``k`` nearest neighbours (self included).
+
+    Returns shape ``(n, min(k + 1, n))``; column 0 is the row itself.
+    """
+    n = x.shape[0]
+    if n == 0:
+        raise LearningError("cannot compute neighbours of an empty matrix")
+    k_eff = min(k + 1, n)
+    squared = (x * x).sum(axis=1)
+    distances = squared[:, None] + squared[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(distances, -np.inf)  # force self into slot 0
+    order = np.argsort(distances, axis=1)
+    return order[:, :k_eff]
+
+
+def local_laplacian(block: np.ndarray, local_reg: float) -> np.ndarray:
+    """``L_i`` for one neighbourhood (rows of ``block`` are the samples)."""
+    m = block.shape[0]
+    h = np.eye(m) - np.full((m, m), 1.0 / m)
+    # Eq. 14 in row convention (paper's column matrix X̃ᵢ is blockᵀ):
+    #   X̃ᵢ H X̃ᵢᵀ + λI  →  blockᵀ H block + λI              (r × r)
+    #   L = H − H block (blockᵀ H block + λI)⁻¹ blockᵀ H     (m × m)
+    r = block.shape[1]
+    inner = block.T @ h @ block + local_reg * np.eye(r)
+    middle = np.linalg.solve(inner, block.T @ h)
+    laplacian = h - h @ block @ middle
+    # Symmetrise against round-off; L must be PSD (Lemma 1 in the paper).
+    return 0.5 * (laplacian + laplacian.T)
+
+
+def manifold_matrix(
+    x: np.ndarray, k_neighbors: int, local_reg: float
+) -> np.ndarray:
+    """``A = Xᵀ (Σᵢ Sᵢ Lᵢ Sᵢᵀ) X`` in row convention (r × r).
+
+    ``x`` holds one concept's transformed instances as rows (n × r).
+    """
+    n, r = x.shape
+    if n == 0:
+        return np.zeros((r, r))
+    neighbours = knn_indices(x, k_neighbors)
+    m = np.zeros((n, n))
+    for i in range(n):
+        idx = neighbours[i]
+        block = x[idx]
+        laplacian = local_laplacian(block, local_reg)
+        m[np.ix_(idx, idx)] += laplacian
+    return x.T @ m @ x

@@ -1,0 +1,87 @@
+"""A bagged random forest (the Supervised row of Table 4).
+
+The paper: "a conventional Supervised Learning method (using Random
+Forest, which is observed as a good classifier to our task)".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError, NotFittedError
+from ..rng import generator_from
+from .decision_tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated CART trees with per-node feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        max_features: int | str | None = "sqrt",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_trees < 1:
+            raise LearningError("n_trees must be >= 1")
+        self._n_trees = n_trees
+        self._max_depth = max_depth
+        self._min_samples_split = min_samples_split
+        self._max_features = max_features
+        self._rng = generator_from(seed)
+        self._trees: list[DecisionTreeClassifier] = []
+        self._n_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit on rows ``x`` with integer class labels ``y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.shape[0] == 0:
+            raise LearningError("cannot fit a forest on empty data")
+        self._n_classes = int(y.max()) + 1
+        n, d = x.shape
+        max_features = self._resolve_max_features(d)
+        self._trees = []
+        for _ in range(self._n_trees):
+            rows = self._rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self._max_depth,
+                min_samples_split=self._min_samples_split,
+                max_features=max_features,
+                rng=self._rng,
+            )
+            tree.fit(x[rows], y[rows])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Mean of per-tree class probabilities."""
+        if not self._trees:
+            raise NotFittedError("RandomForestClassifier")
+        x = np.asarray(x, dtype=float)
+        total = np.zeros((x.shape[0], self._n_classes))
+        for tree in self._trees:
+            proba = tree.predict_proba(x)
+            # A bootstrap sample may miss the largest class label, leaving
+            # the tree with fewer output columns; pad them with zeros.
+            total[:, : proba.shape[1]] += proba
+        return total / len(self._trees)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Arg-max class per row."""
+        return self.predict_proba(x).argmax(axis=1)
+
+    def _resolve_max_features(self, d: int) -> int | None:
+        if self._max_features is None:
+            return None
+        if self._max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if isinstance(self._max_features, int):
+            return max(1, min(self._max_features, d))
+        raise LearningError(
+            f"unsupported max_features: {self._max_features!r}"
+        )

@@ -1,0 +1,38 @@
+"""Single-concept semi-supervised detector (Eq. 15).
+
+Minimises::
+
+    Σᵢ ||Wᵀx̃ᵢ − yᵢ||² + λ( Tr(Wᵀ A W) + β ||W||²_F )
+
+whose closed-form solution in row convention is::
+
+    W = (X_lᵀ X_l + λA + λβI)⁻¹ X_lᵀ Y
+
+This is the "Semi-Supervised" row of Table 4 — manifold-regularised but
+without the cross-concept ℓ2,1 coupling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LearningError
+from .training_data import ConceptTrainingData
+
+__all__ = ["solve_semisupervised"]
+
+
+def solve_semisupervised(
+    data: ConceptTrainingData, lam: float, beta: float
+) -> np.ndarray:
+    """Closed-form W (r × 3) for one concept."""
+    r = data.x.shape[1]
+    if data.n_labeled == 0:
+        raise LearningError(
+            f"concept {data.concept!r} has no labelled seeds; use the "
+            "pooled fallback detector"
+        )
+    xl, y = data.weighted_rows()
+    lhs = xl.T @ xl + lam * data.a + lam * beta * np.eye(r)
+    rhs = xl.T @ y
+    return np.linalg.solve(lhs, rhs)

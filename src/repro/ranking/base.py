@@ -1,0 +1,52 @@
+"""Ranker protocol and registry (§5.2 of the paper)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import RankingError
+from ..kb.store import KnowledgeBase
+
+__all__ = ["Ranker", "RANKERS", "register_ranker", "get_ranker"]
+
+
+class Ranker(ABC):
+    """Assigns each instance of a concept a goodness score.
+
+    Scores are comparable within a concept; all three paper models
+    normalise to a probability distribution over the concept's instances.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def score(self, kb: KnowledgeBase, concept: str) -> dict[str, float]:
+        """Score every alive instance of ``concept``."""
+
+    def score_all(
+        self, kb: KnowledgeBase, concepts: list[str] | None = None
+    ) -> dict[str, dict[str, float]]:
+        """Score several concepts (all KB concepts by default)."""
+        names = concepts if concepts is not None else kb.concepts()
+        return {concept: self.score(kb, concept) for concept in names}
+
+
+RANKERS: dict[str, type[Ranker]] = {}
+
+
+def register_ranker(cls: type[Ranker]) -> type[Ranker]:
+    """Class decorator adding a ranker to the registry."""
+    if not cls.name or cls.name == "abstract":
+        raise RankingError(f"ranker {cls.__name__} must define a name")
+    RANKERS[cls.name] = cls
+    return cls
+
+
+def get_ranker(name: str, **kwargs) -> Ranker:
+    """Instantiate a registered ranker by name."""
+    try:
+        cls = RANKERS[name]
+    except KeyError:
+        known = ", ".join(sorted(RANKERS))
+        raise RankingError(f"unknown ranker {name!r} (known: {known})") from None
+    return cls(**kwargs)

@@ -1,0 +1,78 @@
+"""Per-concept trigger graphs.
+
+§3.1 of the paper: "we build a random walk graph for each target class,
+where each instance under the class is taken as a node, and each sentence
+parsing [is] represented as edges pointing from an instance to its
+triggered sub-instances".  Restart mass sits on the iteration-1 (core)
+instances, weighted by their core evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kb.pair import IsAPair
+from ..kb.store import KnowledgeBase
+
+__all__ = ["ConceptGraph", "build_concept_graph"]
+
+
+@dataclass(frozen=True)
+class ConceptGraph:
+    """Trigger graph of one concept.
+
+    ``nodes`` is a stable-ordered tuple of instance names; ``edges`` maps a
+    node index to ``{successor index: weight}``; ``restart`` is the
+    (unnormalised) restart weight per node — positive exactly on core
+    instances.
+    """
+
+    concept: str
+    nodes: tuple[str, ...]
+    edges: dict[int, dict[int, float]]
+    restart: tuple[float, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    def index_of(self, instance: str) -> int | None:
+        """Node index for an instance (``None`` if absent)."""
+        return self._index.get(instance)
+
+    @property
+    def _index(self) -> dict[str, int]:
+        cached = getattr(self, "_index_cache", None)
+        if cached is None:
+            cached = {name: i for i, name in enumerate(self.nodes)}
+            object.__setattr__(self, "_index_cache", cached)
+        return cached
+
+    def total_edge_weight(self) -> float:
+        """Sum of all edge weights (diagnostics)."""
+        return sum(w for row in self.edges.values() for w in row.values())
+
+
+def build_concept_graph(kb: KnowledgeBase, concept: str) -> ConceptGraph:
+    """Build the trigger graph for one concept from KB provenance."""
+    nodes = tuple(sorted(kb.instances_of(concept)))
+    index = {name: i for i, name in enumerate(nodes)}
+    edges: dict[int, dict[int, float]] = {}
+    for record in kb.records():
+        if record.concept != concept or record.is_root:
+            continue
+        for trigger in record.trigger_instances:
+            source = index.get(trigger)
+            if source is None:
+                continue
+            row = edges.setdefault(source, {})
+            for e in record.instances:
+                target = index.get(e)
+                if target is None or e == trigger:
+                    continue
+                row[target] = row.get(target, 0.0) + 1.0
+    restart = tuple(
+        float(kb.core_count(IsAPair(concept, name))) for name in nodes
+    )
+    return ConceptGraph(concept=concept, nodes=nodes, edges=edges, restart=restart)

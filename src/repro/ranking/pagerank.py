@@ -1,0 +1,66 @@
+"""The PageRank ranking model (§5.2 baseline).
+
+Per the paper: "do page rank based on the same graph with the one used for
+random walk, except that the edges are undirected", with teleporting
+probability 0.15 (damping 0.85) and uniform teleport — no restart
+preference for core instances, which is exactly why it underperforms the
+random-walk model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kb.store import KnowledgeBase
+from .base import Ranker, register_ranker
+from .graph import build_concept_graph
+
+__all__ = ["PageRankRanker"]
+
+
+@register_ranker
+class PageRankRanker(Ranker):
+    """Undirected PageRank over the per-concept trigger graph."""
+
+    name = "pagerank"
+
+    def __init__(
+        self,
+        teleport: float = 0.15,
+        max_iterations: int = 100,
+        tolerance: float = 1e-10,
+    ) -> None:
+        if not 0.0 < teleport < 1.0:
+            raise ValueError("teleport must be in (0, 1)")
+        self._teleport = teleport
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+
+    def score(self, kb: KnowledgeBase, concept: str) -> dict[str, float]:
+        graph = build_concept_graph(kb, concept)
+        n = graph.size
+        if n == 0:
+            return {}
+        # Symmetrise the trigger graph.
+        weight = np.zeros((n, n), dtype=float)
+        for source, row in graph.edges.items():
+            for target, w in row.items():
+                weight[source, target] += w
+                weight[target, source] += w
+        out = weight.sum(axis=1)
+        dangling = out <= 0
+        transition = np.zeros_like(weight)
+        nonzero = ~dangling
+        transition[nonzero] = weight[nonzero] / out[nonzero, None]
+        rank = np.full(n, 1.0 / n)
+        uniform = np.full(n, 1.0 / n)
+        for _ in range(self._max_iterations):
+            dangling_mass = rank[dangling].sum()
+            updated = (1.0 - self._teleport) * (
+                transition.T @ rank + dangling_mass * uniform
+            ) + self._teleport * uniform
+            if np.abs(updated - rank).sum() < self._tolerance:
+                rank = updated
+                break
+            rank = updated
+        return {name: float(rank[i]) for i, name in enumerate(graph.nodes)}

@@ -1,0 +1,286 @@
+"""Programmatic construction of ground-truth worlds.
+
+:class:`WorldBuilder` assembles domains, concepts and instances and derives
+instance senses automatically from concept membership.  It provides the
+structural operations the drift mechanisms need:
+
+* ``add_concept`` — fresh concept with Zipf-weighted generated members;
+* ``add_subset`` / ``add_alias`` — within-domain overlap and highly-similar
+  sibling concepts (the Fig. 4 ``> 0.1`` band);
+* ``add_bridges`` — polysemous instances shared across domains
+  (Intentional-DP fuel);
+* ``set_partners`` — which cross-domain concept pairs co-occur in ambiguous
+  sentences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import UnknownConceptError, WorldError
+from ..nlp.types import EntityType
+from ..rng import generator_from
+from .schema import ConceptSpec, Domain, InstanceSpec, Sense
+from .taxonomy import World
+from .vocabulary import Vocabulary
+
+__all__ = ["WorldBuilder"]
+
+_ZIPF_EXPONENT = 1.05
+
+
+def _zipf_weights(count: int, rng: np.random.Generator) -> list[float]:
+    """Zipf-like popularity weights with mild jitter, most popular first."""
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = 1.0 / ranks**_ZIPF_EXPONENT
+    jitter = rng.uniform(0.8, 1.2, size=count)
+    return list(weights * jitter)
+
+
+class WorldBuilder:
+    """Incrementally assemble a :class:`~repro.world.taxonomy.World`."""
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self._rng = generator_from(seed)
+        self._vocabulary = Vocabulary(self._rng)
+        self._domains: dict[str, Domain] = {}
+        self._concept_domain: dict[str, str] = {}
+        self._concept_members: dict[str, list[str]] = {}
+        self._concept_popularity: dict[str, float] = {}
+        self._concept_partners: dict[str, list[str]] = {}
+        self._concept_aliases: dict[str, list[str]] = {}
+        self._instance_weight: dict[str, float] = {}
+        self._instance_primary_domain: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+    def add_domain(
+        self, name: str, coarse_type: EntityType = EntityType.MISC
+    ) -> "WorldBuilder":
+        """Register a domain; concepts across domains are exclusive."""
+        if name in self._domains:
+            raise WorldError(f"domain already exists: {name!r}")
+        self._domains[name] = Domain(name=name, coarse_type=coarse_type)
+        return self
+
+    # ------------------------------------------------------------------
+    # Concepts
+    # ------------------------------------------------------------------
+    def add_concept(
+        self,
+        name: str,
+        domain: str,
+        size: int = 0,
+        popularity: float = 1.0,
+        members: list[str] | None = None,
+    ) -> "WorldBuilder":
+        """Add a concept with ``size`` generated members plus any explicit ones.
+
+        Explicit ``members`` may name instances already created for other
+        concepts (producing overlap); unknown names are created fresh.
+        """
+        if name in self._concept_domain:
+            raise WorldError(f"concept already exists: {name!r}")
+        if domain not in self._domains:
+            raise WorldError(f"unknown domain: {domain!r}")
+        if size < 0:
+            raise WorldError(f"concept {name!r} size must be >= 0")
+        self._concept_domain[name] = domain
+        self._concept_popularity[name] = popularity
+        self._concept_partners[name] = []
+        self._concept_aliases[name] = []
+        member_list: list[str] = []
+        for explicit in members or []:
+            self._register_instance(explicit, domain, weight=None)
+            member_list.append(explicit)
+        generated = self._vocabulary.batch(size)
+        weights = _zipf_weights(size, self._rng)
+        for instance_name, weight in zip(generated, weights):
+            self._register_instance(instance_name, domain, weight=weight)
+            member_list.append(instance_name)
+        self._concept_members[name] = member_list
+        return self
+
+    def add_subset(
+        self,
+        parent: str,
+        name: str,
+        fraction: float,
+        popularity: float = 1.0,
+        extra_size: int = 0,
+    ) -> "WorldBuilder":
+        """Add a concept in the parent's domain sharing a member sample.
+
+        Models within-domain sibling concepts such as ``country`` /
+        ``asian country`` — overlapping, *not* mutually exclusive.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise WorldError("subset fraction must be in (0, 1]")
+        parent_members = self._members_or_raise(parent)
+        count = max(1, int(round(fraction * len(parent_members))))
+        picked_index = self._rng.choice(
+            len(parent_members), size=min(count, len(parent_members)), replace=False
+        )
+        shared = [parent_members[i] for i in sorted(picked_index)]
+        self.add_concept(
+            name,
+            domain=self._concept_domain[parent],
+            size=extra_size,
+            popularity=popularity,
+            members=shared,
+        )
+        return self
+
+    def add_alias(
+        self,
+        concept: str,
+        alias: str,
+        overlap: float = 0.9,
+        popularity: float | None = None,
+    ) -> "WorldBuilder":
+        """Add a highly-similar sibling concept (e.g. ``nation`` for ``country``)."""
+        base_popularity = self._concept_popularity.get(concept, 1.0)
+        self.add_subset(
+            concept,
+            alias,
+            fraction=overlap,
+            popularity=popularity if popularity is not None else base_popularity * 0.5,
+        )
+        self._concept_aliases[concept].append(alias)
+        self._concept_aliases[alias].append(concept)
+        return self
+
+    # ------------------------------------------------------------------
+    # Drift structure
+    # ------------------------------------------------------------------
+    def add_bridges(
+        self,
+        concept_a: str,
+        concept_b: str,
+        count: int,
+        prefer_popular: bool = True,
+    ) -> "WorldBuilder":
+        """Make ``count`` members of ``concept_a`` polysemous into ``concept_b``.
+
+        The two concepts must live in different domains; the chosen members
+        gain a second sense (e.g. *chicken* in both ``animal`` and ``food``).
+        Popular members are preferred because real polysemous heads (chicken,
+        apple, washington) are frequent words.
+        """
+        members_a = self._members_or_raise(concept_a)
+        members_b = self._members_or_raise(concept_b)
+        domain_a = self._concept_domain[concept_a]
+        domain_b = self._concept_domain[concept_b]
+        if domain_a == domain_b:
+            raise WorldError(
+                f"bridges require cross-domain concepts; {concept_a!r} and "
+                f"{concept_b!r} are both in {domain_a!r}"
+            )
+        candidates = [m for m in members_a if m not in set(members_b)]
+        if count > len(candidates):
+            raise WorldError(
+                f"cannot bridge {count} instances from {concept_a!r}; only "
+                f"{len(candidates)} unshared members exist"
+            )
+        if prefer_popular:
+            # Half the bridges come from the popularity head (chicken-like
+            # frequent words), half from anywhere — mid-tail bridges enter
+            # the extractor's knowledge late and stretch drift over several
+            # iterations.
+            candidates.sort(key=lambda m: -self._instance_weight.get(m, 1.0))
+            head = candidates[: max(count, len(candidates) // 4)]
+            head_count = min((count + 1) // 2, len(head))
+            picked = {
+                head[int(i)]
+                for i in self._rng.choice(len(head), size=head_count, replace=False)
+            }
+            rest = [m for m in candidates if m not in picked]
+            extra = count - len(picked)
+            if extra > 0:
+                picked.update(
+                    rest[int(i)]
+                    for i in self._rng.choice(len(rest), size=extra, replace=False)
+                )
+            pool = sorted(picked)
+        else:
+            picked_index = self._rng.choice(len(candidates), size=count, replace=False)
+            pool = [candidates[int(i)] for i in sorted(picked_index)]
+        for member in pool:
+            self._concept_members[concept_b].append(member)
+        return self
+
+    def set_partners(self, concept: str, partners: list[str]) -> "WorldBuilder":
+        """Declare the ambiguous-sentence partners of a concept (ordered)."""
+        self._members_or_raise(concept)
+        own_domain = self._concept_domain[concept]
+        for partner in partners:
+            if partner not in self._concept_domain:
+                raise UnknownConceptError(partner)
+            if self._concept_domain[partner] == own_domain:
+                raise WorldError(
+                    f"partner {partner!r} of {concept!r} must be cross-domain"
+                )
+        self._concept_partners[concept] = list(partners)
+        return self
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> World:
+        """Assemble the immutable :class:`World`."""
+        instance_concepts: dict[str, dict[str, set[str]]] = {}
+        for concept, members in self._concept_members.items():
+            domain = self._concept_domain[concept]
+            for member in members:
+                instance_concepts.setdefault(member, {}).setdefault(domain, set())
+                instance_concepts[member][domain].add(concept)
+        instances = []
+        for name, by_domain in instance_concepts.items():
+            primary = self._instance_primary_domain[name]
+            ordered_domains = [primary] + sorted(d for d in by_domain if d != primary)
+            senses = tuple(
+                Sense(domain=d, concepts=frozenset(by_domain[d]))
+                for d in ordered_domains
+                if d in by_domain
+            )
+            instances.append(
+                InstanceSpec(
+                    name=name,
+                    senses=senses,
+                    popularity=self._instance_weight.get(name, 1.0),
+                )
+            )
+        concepts = [
+            ConceptSpec(
+                name=name,
+                domain=self._concept_domain[name],
+                members=tuple(members),
+                popularity=self._concept_popularity[name],
+                partners=tuple(self._concept_partners[name]),
+                aliases=tuple(self._concept_aliases[name]),
+            )
+            for name, members in self._concept_members.items()
+        ]
+        return World(self._domains.values(), concepts, instances)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _members_or_raise(self, concept: str) -> list[str]:
+        if concept not in self._concept_members:
+            raise UnknownConceptError(concept)
+        return self._concept_members[concept]
+
+    def _register_instance(
+        self, name: str, domain: str, weight: float | None
+    ) -> None:
+        if name not in self._instance_primary_domain:
+            if name not in self._vocabulary:
+                self._vocabulary.reserve(name)
+            self._instance_primary_domain[name] = domain
+            self._instance_weight[name] = weight if weight is not None else float(
+                self._rng.uniform(0.05, 1.0)
+            )
+        elif weight is not None:
+            self._instance_weight[name] = max(self._instance_weight[name], weight)

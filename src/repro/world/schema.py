@@ -1,0 +1,146 @@
+"""Value objects describing a ground-truth world.
+
+A *world* is the synthetic substitute for the real web's knowledge: it fixes
+which concepts exist, which instances truly belong to them, which instances
+are polysemous, and which concepts tend to co-occur in ambiguous Hearst
+sentences (*partners*).  The corpus generator draws sentences from a world;
+the evaluator scores extractions against it.
+
+Terminology follows the paper:
+
+* a **domain** groups concepts that are semantically compatible; concepts in
+  *different* domains are mutually exclusive in the ground truth (instances
+  may still bridge domains — that is polysemy, the root of Intentional DPs);
+* a **sense** is an instance's membership in one domain: the set of concepts
+  of that domain the instance belongs to;
+* a **partner** of concept ``C`` is a concept from another domain that shows
+  up alongside ``C`` in ambiguous constructions such as
+  ``food from animals such as …`` — the raw material of semantic drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nlp.types import EntityType
+
+__all__ = ["Domain", "Sense", "InstanceSpec", "ConceptSpec"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A semantic area; concepts across domains are mutually exclusive."""
+
+    name: str
+    coarse_type: EntityType = EntityType.MISC
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("domain name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Sense:
+    """One domain-level meaning of an instance.
+
+    ``concepts`` lists the concepts (all from ``domain``) the instance truly
+    belongs to under this meaning.
+    """
+
+    domain: str
+    concepts: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.concepts:
+            raise ValueError(f"sense in domain {self.domain!r} has no concepts")
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A ground-truth instance.
+
+    Parameters
+    ----------
+    name:
+        Normalised surface form, unique within the world.
+    senses:
+        One sense per domain the instance has a meaning in.  The first sense
+        is the *primary* sense; it decides the instance's coarse NER type.
+    popularity:
+        Relative sampling weight when the corpus generator picks instances.
+        Zipf-like tails are assigned by the builder.
+    """
+
+    name: str
+    senses: tuple[Sense, ...]
+    popularity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.senses:
+            raise ValueError(f"instance {self.name!r} must have at least one sense")
+        if self.popularity <= 0:
+            raise ValueError(f"instance {self.name!r} popularity must be positive")
+        domains = [sense.domain for sense in self.senses]
+        if len(domains) != len(set(domains)):
+            raise ValueError(f"instance {self.name!r} has duplicate sense domains")
+
+    @property
+    def primary_domain(self) -> str:
+        """Domain of the primary (first) sense."""
+        return self.senses[0].domain
+
+    @property
+    def is_polysemous(self) -> bool:
+        """True when the instance has senses in more than one domain."""
+        return len(self.senses) > 1
+
+    def concepts(self) -> frozenset[str]:
+        """All concepts the instance belongs to, across every sense."""
+        names: set[str] = set()
+        for sense in self.senses:
+            names.update(sense.concepts)
+        return frozenset(names)
+
+
+@dataclass(frozen=True)
+class ConceptSpec:
+    """A ground-truth concept (class).
+
+    Parameters
+    ----------
+    name:
+        Normalised concept surface, unique within the world.
+    domain:
+        The domain the concept lives in.
+    members:
+        Names of instances that truly belong to the concept.
+    popularity:
+        Relative weight for how often sentences are generated about this
+        concept.
+    partners:
+        Concepts from *other* domains that co-occur with this one in
+        ambiguous sentences (ordered: earlier partners co-occur more often).
+    aliases:
+        Names of highly-similar sibling concepts (e.g. ``country`` /
+        ``nation``); informational — aliases are full concepts themselves.
+    """
+
+    name: str
+    domain: str
+    members: tuple[str, ...]
+    popularity: float = 1.0
+    partners: tuple[str, ...] = field(default=())
+    aliases: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("concept name must be non-empty")
+        if self.popularity <= 0:
+            raise ValueError(f"concept {self.name!r} popularity must be positive")
+        if len(self.members) != len(set(self.members)):
+            raise ValueError(f"concept {self.name!r} has duplicate members")
+
+    @property
+    def size(self) -> int:
+        """Number of ground-truth member instances."""
+        return len(self.members)

@@ -1,0 +1,103 @@
+"""World persistence (JSON round trip).
+
+Lets a generated world be frozen to disk so that experiments, notebooks
+and downstream tools can share the exact same ground truth without
+re-running the builder.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import WorldError
+from ..nlp.types import EntityType
+from .schema import ConceptSpec, Domain, InstanceSpec, Sense
+from .taxonomy import World
+
+__all__ = ["save_world", "load_world"]
+
+_FORMAT = "repro-world"
+_VERSION = 1
+
+
+def save_world(world: World, path: str | Path) -> None:
+    """Write a world to a JSON file."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "domains": [
+            {"name": d.name, "coarse_type": d.coarse_type.value}
+            for d in world.domains.values()
+        ],
+        "concepts": [
+            {
+                "name": c.name,
+                "domain": c.domain,
+                "members": list(c.members),
+                "popularity": c.popularity,
+                "partners": list(c.partners),
+                "aliases": list(c.aliases),
+            }
+            for c in world.iter_concepts()
+        ],
+        "instances": [
+            {
+                "name": i.name,
+                "popularity": i.popularity,
+                "senses": [
+                    {"domain": s.domain, "concepts": sorted(s.concepts)}
+                    for s in i.senses
+                ],
+            }
+            for i in world.instances.values()
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_world(path: str | Path) -> World:
+    """Read a world previously written by :func:`save_world`."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise WorldError(f"bad world file {path}: {exc}") from exc
+    if payload.get("format") != _FORMAT:
+        raise WorldError(
+            f"{path} is not a {_FORMAT} file "
+            f"(format={payload.get('format')!r})"
+        )
+    if payload.get("version") != _VERSION:
+        raise WorldError(f"unsupported world version {payload.get('version')!r}")
+    try:
+        domains = [
+            Domain(name=d["name"], coarse_type=EntityType(d["coarse_type"]))
+            for d in payload["domains"]
+        ]
+        concepts = [
+            ConceptSpec(
+                name=c["name"],
+                domain=c["domain"],
+                members=tuple(c["members"]),
+                popularity=c["popularity"],
+                partners=tuple(c.get("partners", ())),
+                aliases=tuple(c.get("aliases", ())),
+            )
+            for c in payload["concepts"]
+        ]
+        instances = [
+            InstanceSpec(
+                name=i["name"],
+                popularity=i["popularity"],
+                senses=tuple(
+                    Sense(domain=s["domain"], concepts=frozenset(s["concepts"]))
+                    for s in i["senses"]
+                ),
+            )
+            for i in payload["instances"]
+        ]
+    except (KeyError, ValueError) as exc:
+        raise WorldError(f"bad world payload in {path}: {exc}") from exc
+    return World(domains, concepts, instances)

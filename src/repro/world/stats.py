@@ -1,0 +1,70 @@
+"""Descriptive statistics over a ground-truth world."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .taxonomy import World
+
+__all__ = ["ConceptStats", "WorldStats", "world_stats"]
+
+
+@dataclass(frozen=True)
+class ConceptStats:
+    """Ground-truth statistics for one concept."""
+
+    name: str
+    domain: str
+    size: int
+    polysemous_members: int
+    partners: tuple[str, ...]
+
+    @property
+    def polysemy_rate(self) -> float:
+        """Fraction of members with senses in other domains."""
+        if self.size == 0:
+            return 0.0
+        return self.polysemous_members / self.size
+
+
+@dataclass(frozen=True)
+class WorldStats:
+    """Aggregate statistics for a world."""
+
+    num_domains: int
+    num_concepts: int
+    num_instances: int
+    num_polysemous: int
+    concepts: tuple[ConceptStats, ...]
+
+    @property
+    def polysemy_rate(self) -> float:
+        """Fraction of instances with senses in more than one domain."""
+        if self.num_instances == 0:
+            return 0.0
+        return self.num_polysemous / self.num_instances
+
+
+def world_stats(world: World) -> WorldStats:
+    """Compute :class:`WorldStats` for a world."""
+    concept_rows = []
+    for spec in world.iter_concepts():
+        polysemous = sum(
+            1 for member in spec.members if world.is_polysemous(member)
+        )
+        concept_rows.append(
+            ConceptStats(
+                name=spec.name,
+                domain=spec.domain,
+                size=spec.size,
+                polysemous_members=polysemous,
+                partners=spec.partners,
+            )
+        )
+    return WorldStats(
+        num_domains=len(world.domains),
+        num_concepts=len(world.concepts),
+        num_instances=len(world.instances),
+        num_polysemous=len(world.polysemous_instances()),
+        concepts=tuple(concept_rows),
+    )

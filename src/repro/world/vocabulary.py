@@ -1,0 +1,117 @@
+"""Deterministic pseudo-word vocabulary.
+
+The synthetic world needs thousands of unique instance surfaces.  Using
+generated pseudo-words (rather than lists of real words) keeps the corpus
+self-contained, makes name collisions impossible to confuse with polysemy,
+and lets property-based tests create arbitrarily large worlds.
+
+Names are pronounceable syllable chains (``talvori``, ``senga ked``); a
+fraction are two-word surfaces to exercise multi-token handling in the
+tokenizer and NER.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorldError
+
+__all__ = ["Vocabulary", "make_typo"]
+
+_ONSETS = (
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m",
+    "n", "p", "r", "s", "t", "v", "w", "z", "br", "ch",
+    "cl", "dr", "fl", "gr", "kr", "pl", "sh", "sl", "st", "tr",
+)
+_VOWELS = ("a", "e", "i", "o", "u", "ai", "ea", "io", "ou")
+_CODAS = ("", "", "", "n", "r", "s", "l", "m", "t", "k", "nd", "rt")
+
+
+class Vocabulary:
+    """Generates unique, deterministic pseudo-word surfaces.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness; the caller controls determinism.
+    two_word_rate:
+        Probability that a generated surface consists of two words.
+    """
+
+    def __init__(self, rng: np.random.Generator, two_word_rate: float = 0.15) -> None:
+        if not 0.0 <= two_word_rate <= 1.0:
+            raise ValueError("two_word_rate must be in [0, 1]")
+        self._rng = rng
+        self._two_word_rate = two_word_rate
+        self._used: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._used)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._used
+
+    def reserve(self, name: str) -> str:
+        """Register an externally chosen name, failing on collision."""
+        if name in self._used:
+            raise WorldError(f"name already in use: {name!r}")
+        self._used.add(name)
+        return name
+
+    def word(self, min_syllables: int = 2, max_syllables: int = 3) -> str:
+        """Return one pseudo-word (not registered as a surface)."""
+        count = int(self._rng.integers(min_syllables, max_syllables + 1))
+        parts = []
+        for _ in range(count):
+            onset = _ONSETS[int(self._rng.integers(0, len(_ONSETS)))]
+            vowel = _VOWELS[int(self._rng.integers(0, len(_VOWELS)))]
+            parts.append(onset + vowel)
+        coda = _CODAS[int(self._rng.integers(0, len(_CODAS)))]
+        return "".join(parts) + coda
+
+    def fresh(self, max_attempts: int = 1000) -> str:
+        """Return a new unique surface and register it."""
+        for _ in range(max_attempts):
+            if self._rng.random() < self._two_word_rate:
+                candidate = f"{self.word()} {self.word(1, 2)}"
+            else:
+                candidate = self.word()
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+        raise WorldError(
+            f"could not find a fresh name after {max_attempts} attempts "
+            f"({len(self._used)} names in use)"
+        )
+
+    def batch(self, count: int) -> list[str]:
+        """Return ``count`` fresh unique surfaces."""
+        return [self.fresh() for _ in range(count)]
+
+
+def make_typo(name: str, rng: np.random.Generator) -> str:
+    """Corrupt a surface with a single character-level typo.
+
+    Mirrors the paper's non-drift error class (``Syngapore``,
+    ``Micorsoft``): the result is a string that belongs to no concept.
+    """
+    if not name:
+        raise ValueError("cannot make a typo of an empty name")
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    chars = list(name)
+    position = int(rng.integers(0, len(chars)))
+    operation = int(rng.integers(0, 3))
+    if operation == 0 and len(chars) > 2:  # deletion
+        del chars[position]
+    elif operation == 1:  # substitution
+        replacement = letters[int(rng.integers(0, len(letters)))]
+        chars[position] = replacement
+    else:  # transposition / duplication
+        if position + 1 < len(chars):
+            chars[position], chars[position + 1] = chars[position + 1], chars[position]
+        else:
+            chars.append(chars[position])
+    result = "".join(chars)
+    if result == name:  # rare no-op (e.g. swapped identical letters)
+        result = name + letters[int(rng.integers(0, len(letters)))]
+    return result

@@ -1,0 +1,126 @@
+"""Tests for the DP-based cleaner on a hand-built drift scenario."""
+
+from __future__ import annotations
+
+from repro.cleaning import DPCleaner
+from repro.config import CleaningConfig
+from repro.corpus.corpus import Corpus
+from repro.corpus.sentence import Sentence
+from repro.extraction import SemanticIterativeExtractor
+from repro.kb import IsAPair
+from repro.labeling import DPLabel
+
+
+def _sentence(sid, concepts, instances):
+    return Sentence(sid=sid, surface=f"s{sid}", concepts=concepts,
+                    instances=instances)
+
+
+def _corpus():
+    """Animal core + chicken-triggered food drift + one accidental error."""
+    sentences = [
+        # core animals, repeated for solid evidence
+        _sentence(0, ("animal",), ("dog", "cat", "chicken")),
+        _sentence(1, ("animal",), ("dog", "cat", "chicken")),
+        _sentence(2, ("animal",), ("dog", "horse")),
+        # food core
+        _sentence(3, ("food",), ("pork", "beef", "rice")),
+        _sentence(4, ("food",), ("pork", "beef", "noodle")),
+        _sentence(5, ("food",), ("rice", "noodle", "chicken")),
+        # city core (new york's true home)
+        _sentence(6, ("city",), ("new york", "boston")),
+        _sentence(7, ("city",), ("new york", "tokyo")),
+        # drift: resolved to animal via chicken, truth is food; 'lard' is
+        # a food absent from the food core, so it lands under animal only
+        _sentence(8, ("animal", "food"), ("pork", "beef", "lard", "chicken")),
+        # chained drift: resolvable only once lard is known under animal
+        _sentence(9, ("animal", "plant"), ("lard", "ham")),
+        # accidental: new york slips under animal via dog's sentence
+        _sentence(10, ("animal", "plant"), ("new york", "dog")),
+    ]
+    return Corpus(tuple(sentences))
+
+
+def _oracle_detect(kb):
+    """A perfect detector for this scenario."""
+    labels: dict[str, dict[str, DPLabel]] = {}
+    if kb.has_instance("animal", "chicken"):
+        labels.setdefault("animal", {})["chicken"] = DPLabel.INTENTIONAL
+    if kb.has_instance("animal", "new york"):
+        labels.setdefault("animal", {})["new york"] = DPLabel.ACCIDENTAL
+    return labels
+
+
+class TestDPCleaner:
+    def _clean(self, config=None):
+        result = SemanticIterativeExtractor().run(_corpus())
+        cleaner = DPCleaner(_oracle_detect, config or CleaningConfig())
+        report = cleaner.clean(result.kb, result.corpus)
+        return result.kb, report
+
+    def test_drift_errors_removed(self):
+        kb, _report = self._clean()
+        assert not kb.has_instance("animal", "pork")
+        assert not kb.has_instance("animal", "beef")
+        assert not kb.has_instance("animal", "lard")
+        assert not kb.has_instance("animal", "ham")  # cascade
+
+    def test_accidental_dp_removed(self):
+        kb, _report = self._clean()
+        assert not kb.has_instance("animal", "new york")
+
+    def test_intentional_dp_kept(self):
+        kb, _report = self._clean()
+        assert kb.has_instance("animal", "chicken")
+
+    def test_correct_pairs_untouched(self):
+        kb, _report = self._clean()
+        for instance in ("dog", "cat", "horse"):
+            assert kb.has_instance("animal", instance)
+        for instance in ("pork", "beef", "rice", "noodle", "chicken"):
+            assert kb.has_instance("food", instance)
+        assert kb.has_instance("city", "new york")
+
+    def test_report_contents(self):
+        _kb, report = self._clean()
+        assert report.method == "dp_cleaning"
+        removed = report.removed_pairs
+        assert IsAPair("animal", "pork") in removed
+        assert IsAPair("animal", "new york") in removed
+        assert report.records_rolled_back >= 2
+        assert report.rounds >= 1
+        assert report.removed_under("animal") >= {"pork", "beef"}
+
+    def test_sentence_checks_recorded(self):
+        _kb, report = self._clean()
+        checks = [
+            check
+            for stats in report.details["rounds"]
+            for check in stats.sentence_checks
+        ]
+        assert any(check.is_drifting for check in checks)
+
+    def test_idempotent_second_run(self):
+        kb, _ = self._clean()
+        cleaner = DPCleaner(_oracle_detect, CleaningConfig())
+        second = cleaner.clean(kb, _corpus().deduplicated())
+        assert second.num_removed == 0
+
+    def test_well_evidenced_accidental_flag_ignored(self):
+        # Flag a solidly-evidenced pair as accidental: the Property 3
+        # guard must protect it.
+        def bad_detect(kb):
+            return {"animal": {"dog": DPLabel.ACCIDENTAL}}
+
+        result = SemanticIterativeExtractor().run(_corpus())
+        cleaner = DPCleaner(bad_detect, CleaningConfig(accidental_max_count=1))
+        cleaner.clean(result.kb, result.corpus)
+        assert result.kb.has_instance("animal", "dog")
+
+    def test_round_cap_respected(self):
+        result = SemanticIterativeExtractor().run(_corpus())
+        cleaner = DPCleaner(
+            _oracle_detect, CleaningConfig(max_cleaning_rounds=1)
+        )
+        report = cleaner.clean(result.kb, result.corpus)
+        assert report.rounds == 1

@@ -1,0 +1,66 @@
+"""Tests for Eq. 21 sentence re-scoring, including the paper's Example 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning import check_extraction, score_sentence
+from repro.corpus.sentence import Sentence
+
+
+def _sentence():
+    return Sentence(
+        sid=0,
+        surface="food from animals such as pork, beef and chicken",
+        concepts=("animal", "food"),
+        instances=("pork", "beef", "chicken"),
+    )
+
+
+#: The exact random-walk scores from the paper's Example 1.
+_PAPER_SCORES = {
+    "food": {"pork": 0.15, "beef": 0.10, "chicken": 0.35},
+    "animal": {"pork": 0.001, "beef": 0.002, "chicken": 0.250},
+}
+
+
+class TestScoreSentence:
+    def test_paper_example_values(self):
+        # The paper rounds per-term (0.006 + 0.019 + 0.416 = 0.441); the
+        # exact sums are 0.4429 and 2.5571.
+        scores = score_sentence(_sentence(), _PAPER_SCORES)
+        assert scores["animal"] == pytest.approx(0.4429, abs=0.001)
+        assert scores["food"] == pytest.approx(2.5571, abs=0.001)
+
+    def test_scores_sum_to_instance_count(self):
+        scores = score_sentence(_sentence(), _PAPER_SCORES)
+        assert sum(scores.values()) == pytest.approx(3.0)
+
+    def test_unknown_instances_skipped(self):
+        sentence = Sentence(
+            sid=1, surface="x", concepts=("animal", "food"),
+            instances=("mystery",),
+        )
+        scores = score_sentence(sentence, _PAPER_SCORES)
+        assert scores == {"animal": 0.0, "food": 0.0}
+
+
+class TestCheckExtraction:
+    def test_paper_example_rolls_back(self):
+        check = check_extraction(
+            _sentence(), "animal", "chicken", _PAPER_SCORES
+        )
+        assert check.is_drifting
+        assert check.chosen_concept == "animal"
+        assert check.trigger_instance == "chicken"
+
+    def test_correct_extraction_kept(self):
+        check = check_extraction(_sentence(), "food", "chicken", _PAPER_SCORES)
+        assert not check.is_drifting
+
+    def test_scores_recorded(self):
+        check = check_extraction(
+            _sentence(), "animal", "chicken", _PAPER_SCORES
+        )
+        recorded = dict(check.scores)
+        assert set(recorded) == {"animal", "food"}

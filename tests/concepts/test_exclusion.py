@@ -1,0 +1,82 @@
+"""Tests for the mutual-exclusion index."""
+
+from __future__ import annotations
+
+from repro.concepts import MutualExclusionIndex
+from repro.config import SimilarityConfig
+from repro.kb import KnowledgeBase
+
+
+def _kb():
+    kb = KnowledgeBase()
+    kb.add_extraction(0, "animal", ("dog", "cat", "pig", "hen"), iteration=1)
+    kb.add_extraction(1, "food", ("pork", "beef", "rice", "hen"), iteration=1)
+    kb.add_extraction(
+        2, "country", ("france", "japan", "china", "india"), iteration=1
+    )
+    kb.add_extraction(
+        3, "nation", ("france", "japan", "china", "brazil"), iteration=1
+    )
+    kb.add_extraction(
+        4, "asian country", ("japan", "china", "india"), iteration=1
+    )
+    return kb
+
+
+def _index(exclusive=0.2, similar=0.5):
+    return MutualExclusionIndex(
+        _kb(),
+        SimilarityConfig(
+            exclusive_threshold=exclusive,
+            similar_threshold=similar,
+            min_core_size=1,
+        ),
+    )
+
+
+class TestExclusion:
+    def test_disjoint_concepts_exclusive(self):
+        index = _index()
+        assert index.exclusive("animal", "country")
+
+    def test_self_never_exclusive(self):
+        assert not _index().exclusive("animal", "animal")
+
+    def test_shared_instance_below_threshold_still_exclusive(self):
+        # animal/food share one of four core instances → sim 0.25 ≥ 0.2
+        index = _index(exclusive=0.2)
+        assert not index.exclusive("animal", "food")
+        strict = _index(exclusive=0.3)
+        assert strict.exclusive("animal", "food")
+
+    def test_highly_similar(self):
+        index = _index()
+        assert index.highly_similar("country", "nation")
+        assert not index.highly_similar("country", "animal")
+        assert index.highly_similar("country", "country")
+
+    def test_group_contains_similar_siblings(self):
+        index = _index()
+        assert "nation" in index.group("country")
+
+    def test_propagation_blocks_exclusion_through_groups(self):
+        # asian country overlaps country strongly; nation is in country's
+        # group, so nation and asian country must not be exclusive even if
+        # their direct cosine were low.
+        index = _index()
+        assert not index.exclusive("nation", "asian country")
+
+    def test_exclusive_concepts_containing(self):
+        kb = _kb()
+        index = MutualExclusionIndex(
+            kb,
+            SimilarityConfig(
+                exclusive_threshold=0.3, similar_threshold=0.5, min_core_size=1
+            ),
+        )
+        result = index.exclusive_concepts_containing(kb, "animal", "hen")
+        assert result == frozenset({"food"})
+
+    def test_unknown_concept_group_is_singleton(self):
+        index = _index()
+        assert index.group("ghost") == frozenset({"ghost"})

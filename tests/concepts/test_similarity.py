@@ -1,0 +1,82 @@
+"""Tests for core-set similarity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.concepts import CoreSimilarity
+from repro.kb import KnowledgeBase
+
+
+def _kb():
+    kb = KnowledgeBase()
+    kb.add_extraction(0, "animal", ("dog", "cat", "chicken"), iteration=1)
+    kb.add_extraction(1, "food", ("pork", "beef", "chicken"), iteration=1)
+    kb.add_extraction(2, "country", ("france", "japan", "china"), iteration=1)
+    kb.add_extraction(3, "nation", ("france", "japan", "brazil"), iteration=1)
+    return kb
+
+
+class TestCoreSimilarity:
+    def test_shared_core_instance(self):
+        sim = CoreSimilarity(_kb())
+        expected = 1 / math.sqrt(3 * 3)
+        assert sim.similarity("animal", "food") == pytest.approx(expected)
+
+    def test_disjoint_cores(self):
+        sim = CoreSimilarity(_kb())
+        assert sim.similarity("animal", "country") == 0.0
+
+    def test_symmetry(self):
+        sim = CoreSimilarity(_kb())
+        assert sim.similarity("animal", "food") == sim.similarity("food", "animal")
+
+    def test_self_similarity_is_one(self):
+        sim = CoreSimilarity(_kb())
+        assert sim.similarity("animal", "animal") == pytest.approx(1.0)
+
+    def test_alias_pair_high(self):
+        sim = CoreSimilarity(_kb())
+        assert sim.similarity("country", "nation") == pytest.approx(2 / 3)
+
+    def test_overlapping_finds_partners(self):
+        sim = CoreSimilarity(_kb())
+        assert set(sim.overlapping("animal")) == {"food"}
+
+    def test_overlapping_pairs_unique(self):
+        sim = CoreSimilarity(_kb())
+        pairs = list(sim.overlapping_pairs())
+        keys = [(a, b) for a, b, _ in pairs]
+        assert len(set(keys)) == len(keys)
+        assert ("country", "nation") in keys
+
+    def test_min_core_size_filters(self):
+        kb = _kb()
+        kb.add_extraction(4, "tiny", ("x",), iteration=1)
+        sim = CoreSimilarity(kb, min_core_size=2)
+        assert "tiny" not in sim.concepts
+
+    def test_only_core_counts(self):
+        kb = _kb()
+        # late extraction must not affect core similarity
+        from repro.kb import IsAPair
+
+        trigger = IsAPair("animal", "chicken")
+        kb.add_extraction(
+            5, "animal", ("france", "chicken"), triggers=(trigger,),
+            iteration=2,
+        )
+        sim = CoreSimilarity(kb)
+        assert sim.similarity("animal", "country") == 0.0
+
+    def test_histogram(self):
+        sim = CoreSimilarity(_kb())
+        counts, zero_pairs = sim.similarity_histogram([0.0, 0.5, 1.01])
+        assert sum(counts) == 2  # animal-food, country-nation
+        assert zero_pairs == 4
+
+    def test_bad_min_core_size(self):
+        with pytest.raises(ValueError):
+            CoreSimilarity(_kb(), min_core_size=0)

@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+Heavy artefacts (worlds, corpora, extraction runs) are session-scoped: they
+are deterministic, read-only in tests, and expensive enough that rebuilding
+them per test would dominate suite runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ConceptProfile, CorpusConfig, ExtractionConfig
+from repro.corpus import generate_corpus
+from repro.extraction import SemanticIterativeExtractor
+from repro.world import motivating_example_world, paper_world, toy_world
+
+
+@pytest.fixture(scope="session")
+def toy_preset():
+    return toy_world(seed=7)
+
+
+@pytest.fixture(scope="session")
+def toy_corpus(toy_preset):
+    config = CorpusConfig(
+        num_sentences=1500,
+        profiles=toy_preset.profiles,
+        default_profile=ConceptProfile(ambiguous_rate=0.5),
+    )
+    return generate_corpus(toy_preset.world, config, seed=11)
+
+
+@pytest.fixture(scope="session")
+def toy_extraction(toy_corpus):
+    extractor = SemanticIterativeExtractor(ExtractionConfig(stream_chunks=4))
+    return extractor.run(toy_corpus)
+
+
+@pytest.fixture(scope="session")
+def small_paper_preset():
+    return paper_world(seed=3, scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def motivating_preset():
+    return motivating_example_world()

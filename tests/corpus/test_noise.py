@@ -1,0 +1,60 @@
+"""Tests for the corpus noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.noise import apply_typo, pick_false_fact, popular_members
+from repro.world import toy_world
+
+
+class TestPopularMembers:
+    def test_returns_head_of_popularity(self, toy_preset):
+        world = toy_preset.world
+        top = popular_members(world, "animal", top_fraction=0.1)
+        weights = [world.instance(m).popularity for m in top]
+        all_weights = sorted(
+            (world.instance(m).popularity for m in world.members("animal")),
+            reverse=True,
+        )
+        assert min(weights) >= all_weights[len(top) - 1]
+
+    def test_at_least_one(self, toy_preset):
+        assert popular_members(toy_preset.world, "animal", 0.001)
+
+
+class TestPickFalseFact:
+    def test_contaminant_is_exclusive(self, toy_preset):
+        world = toy_preset.world
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            pick = pick_false_fact(world, "animal", rng)
+            assert pick is not None
+            assert not world.is_member("animal", pick)
+            owners = world.concepts_of(pick)
+            assert owners  # a real instance of something else
+
+    def test_deterministic_with_seed(self, toy_preset):
+        world = toy_preset.world
+        a = pick_false_fact(world, "animal", np.random.default_rng(5))
+        b = pick_false_fact(world, "animal", np.random.default_rng(5))
+        assert a == b
+
+    def test_no_candidates_returns_none(self):
+        preset = toy_world(seed=3)
+        # a single-domain world has nothing exclusive to draw from
+        from repro.nlp.types import EntityType
+        from repro.world import WorldBuilder
+
+        builder = WorldBuilder(seed=1)
+        builder.add_domain("animals", EntityType.MISC)
+        builder.add_concept("animal", "animals", size=5)
+        world = builder.build()
+        assert pick_false_fact(world, "animal", np.random.default_rng(0)) is None
+
+
+class TestApplyTypo:
+    def test_result_differs(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            assert apply_typo("singapore", rng) != "singapore"

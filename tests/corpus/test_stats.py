@@ -1,0 +1,43 @@
+"""Tests for corpus statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.stats import corpus_stats
+
+
+class TestCorpusStats:
+    @pytest.fixture(scope="class")
+    def stats(self, toy_corpus):
+        return corpus_stats(toy_corpus)
+
+    def test_totals_consistent(self, stats, toy_corpus):
+        assert stats.sentences == len(toy_corpus)
+        assert stats.ambiguous + stats.unambiguous == stats.sentences
+        assert stats.distinct_surfaces <= stats.sentences
+
+    def test_ambiguity_rate(self, stats, toy_corpus):
+        expected = len(toy_corpus.ambiguous()) / len(toy_corpus)
+        assert stats.ambiguity_rate == pytest.approx(expected)
+
+    def test_duplicate_rate_positive(self, stats):
+        # the generator re-emits ~8 % of sentences on later pages
+        assert 0.0 < stats.duplicate_rate < 0.3
+
+    def test_mentions(self, stats):
+        assert stats.instance_mentions >= 2 * stats.sentences
+        assert stats.mentions_per_instance > 1.0
+
+    def test_noise_counts(self, stats):
+        assert stats.contaminated >= 0
+        assert stats.misparse >= 0
+
+    def test_empty_corpus(self):
+        from repro.corpus.corpus import Corpus
+
+        stats = corpus_stats(Corpus(()))
+        assert stats.sentences == 0
+        assert stats.ambiguity_rate == 0.0
+        assert stats.duplicate_rate == 0.0
+        assert stats.mentions_per_instance == 0.0

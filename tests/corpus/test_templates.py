@@ -1,0 +1,68 @@
+"""Tests for Hearst surface templates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.templates import (
+    join_instances,
+    pluralize,
+    render_ambiguous,
+    render_misparse,
+    render_unambiguous,
+)
+
+
+class TestPluralize:
+    @pytest.mark.parametrize(
+        "singular,plural",
+        [
+            ("dog", "dogs"),
+            ("country", "countries"),
+            ("asian country", "asian countries"),
+            ("bus", "buses"),
+            ("box", "boxes"),
+            ("church", "churches"),
+            ("dish", "dishes"),
+            ("key u.s. export", "key u.s. exports"),
+            ("toy", "toys"),  # vowel before y
+        ],
+    )
+    def test_cases(self, singular, plural):
+        assert pluralize(singular) == plural
+
+
+class TestJoinInstances:
+    def test_single(self):
+        assert join_instances(("a",)) == "a"
+
+    def test_two(self):
+        assert join_instances(("a", "b")) == "a and b"
+
+    def test_many(self):
+        assert join_instances(("a", "b", "c")) == "a, b and c"
+
+
+class TestRender:
+    def test_unambiguous_contains_cue(self):
+        rng = np.random.default_rng(0)
+        surface = render_unambiguous("animal", ("dog", "cat"), rng)
+        assert "animals such as dog and cat" in surface
+
+    def test_ambiguous_orders_head_then_modifier(self):
+        rng = np.random.default_rng(0)
+        surface = render_ambiguous("food", "animal", ("pork", "beef"), rng)
+        assert "foods from animals such as pork and beef" in surface
+
+    def test_misparse_shape(self):
+        rng = np.random.default_rng(0)
+        surface = render_misparse("animal", "dog", ("cat",), rng)
+        assert "animals other than dogs such as cat" in surface
+
+    def test_leadin_variation(self):
+        rng = np.random.default_rng(1)
+        surfaces = {
+            render_unambiguous("animal", ("dog", "cat"), rng) for _ in range(30)
+        }
+        assert len(surfaces) > 1  # lead-ins actually vary

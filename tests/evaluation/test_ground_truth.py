@@ -1,0 +1,99 @@
+"""Tests for the ground-truth oracle."""
+
+from __future__ import annotations
+
+from repro.evaluation import GroundTruth
+from repro.kb import IsAPair, KnowledgeBase
+from repro.labeling import DPLabel
+from repro.nlp.types import EntityType
+from repro.world.schema import ConceptSpec, Domain, InstanceSpec, Sense
+from repro.world.taxonomy import World
+
+
+def _world():
+    domains = [Domain("animals", EntityType.MISC), Domain("foods", EntityType.MISC)]
+    concepts = [
+        ConceptSpec("animal", "animals", ("dog", "chicken")),
+        ConceptSpec("food", "foods", ("pork", "beef", "chicken")),
+    ]
+    instances = [
+        InstanceSpec("dog", (Sense("animals", frozenset({"animal"})),)),
+        InstanceSpec("pork", (Sense("foods", frozenset({"food"})),)),
+        InstanceSpec("beef", (Sense("foods", frozenset({"food"})),)),
+        InstanceSpec(
+            "chicken",
+            (
+                Sense("animals", frozenset({"animal"})),
+                Sense("foods", frozenset({"food"})),
+            ),
+        ),
+    ]
+    return World(domains, concepts, instances)
+
+
+def _kb():
+    kb = KnowledgeBase()
+    kb.add_extraction(0, "animal", ("dog", "chicken"), iteration=1)
+    chicken = IsAPair("animal", "chicken")
+    # chicken triggers pork (drift) and a typo
+    kb.add_extraction(
+        1, "animal", ("pork", "chicken"), triggers=(chicken,), iteration=2
+    )
+    kb.add_extraction(
+        2, "animal", ("syngapore", "chicken"), triggers=(chicken,), iteration=2
+    )
+    return kb
+
+
+class TestPairTruth:
+    def test_correct(self):
+        truth = GroundTruth(_world(), _kb())
+        assert truth.is_correct("animal", "dog")
+        assert not truth.is_correct("animal", "pork")
+
+    def test_unknown_concept_everything_wrong(self):
+        truth = GroundTruth(_world(), _kb())
+        assert truth.is_error("vehicle", "dog")
+
+    def test_drifting_vs_typo(self):
+        truth = GroundTruth(_world(), _kb())
+        assert truth.is_drifting_error("animal", "pork")
+        assert not truth.is_drifting_error("animal", "syngapore")
+        assert truth.is_typo_error("animal", "syngapore")
+        assert not truth.is_typo_error("animal", "pork")
+
+
+class TestDPTruth:
+    def test_chicken_intentional(self):
+        truth = GroundTruth(_world(), _kb())
+        assert truth.dp_label("animal", "chicken") is DPLabel.INTENTIONAL
+
+    def test_dog_non_dp(self):
+        truth = GroundTruth(_world(), _kb())
+        assert truth.dp_label("animal", "dog") is DPLabel.NON_DP
+
+    def test_leaf_error_has_no_class(self):
+        truth = GroundTruth(_world(), _kb())
+        assert truth.dp_label("animal", "pork") is None
+        assert truth.dp_label("animal", "syngapore") is None
+
+    def test_accidental_when_error_triggers(self):
+        kb = _kb()
+        pork = IsAPair("animal", "pork")
+        # pork drags beef (a real food) under animal → pork is a DP now
+        kb.add_extraction(
+            3, "animal", ("beef", "pork"), triggers=(pork,), iteration=3
+        )
+        truth = GroundTruth(_world(), kb)
+        assert truth.dp_label("animal", "pork") is DPLabel.ACCIDENTAL
+        assert truth.dp_label("animal", "beef") is None  # leaf error
+
+    def test_concept_truth_breakdown(self):
+        truth = GroundTruth(_world(), _kb())
+        summary = truth.concept_truth("animal")
+        assert summary.instances == 4
+        assert summary.correct == 2
+        assert summary.errors == 2
+        assert summary.intentional_dps == 1
+        assert summary.non_dps == 1
+        assert summary.error_rate == 0.5

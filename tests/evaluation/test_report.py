@@ -1,0 +1,34 @@
+"""Tests for text-table formatting."""
+
+from __future__ import annotations
+
+from repro.evaluation import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_rounds(self):
+        assert format_float(0.91194) == "0.9119"
+
+    def test_integral(self):
+        assert format_float(1.0) == "1.0"
+
+    def test_digits(self):
+        assert format_float(0.123456, digits=2) == "0.12"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bb"), [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line equally wide
+
+    def test_title(self):
+        text = format_table(("a",), [("x",)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_floats_formatted(self):
+        text = format_table(("v",), [(0.123456,)])
+        assert "0.1235" in text

@@ -1,0 +1,27 @@
+"""Shared small-but-real pipeline for experiment tests.
+
+Scale 1.0 world with a 6 k-sentence corpus: large enough for drift and
+detection to behave qualitatively like the paper-scale runs, small enough
+to keep the suite fast.  Session-scoped: the artifacts are read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.pipeline import Pipeline, experiment_config
+from repro.world import paper_world
+
+
+@pytest.fixture(scope="session")
+def small_pipeline():
+    preset = paper_world(seed=11, scale=1.0)
+    config = experiment_config(
+        num_sentences=6000, seed=11, profiles=preset.profiles
+    )
+    return Pipeline(preset=preset, config=config)
+
+
+@pytest.fixture(scope="session")
+def small_artifacts(small_pipeline):
+    return small_pipeline.analyze(fit_detector=False)

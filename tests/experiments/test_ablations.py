@@ -1,0 +1,71 @@
+"""Tests for the ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_features,
+    run_ablation_policy,
+    run_ablation_rollback,
+)
+
+
+class TestFeatureAblation:
+    @pytest.fixture(scope="class")
+    def result(self, small_pipeline):
+        return run_ablation_features(small_pipeline)
+
+    def test_all_variants_present(self, result):
+        assert set(result.data) == {
+            "all features", "without f1", "without f2", "without f3",
+            "without f4",
+        }
+
+    def test_dropping_a_feature_rarely_helps_much(self, result):
+        full = result.data["all features"]["f1"]
+        for variant, row in result.data.items():
+            if variant != "all features":
+                assert row["f1"] <= full + 0.1, variant
+
+    def test_some_feature_matters(self, result):
+        full = result.data["all features"]["f1"]
+        drops = [
+            full - row["f1"]
+            for variant, row in result.data.items()
+            if variant != "all features"
+        ]
+        assert max(drops) > 0.02  # at least one property carries signal
+
+
+class TestRollbackAblation:
+    @pytest.fixture(scope="class")
+    def result(self, small_pipeline):
+        return run_ablation_rollback(small_pipeline)
+
+    def test_rollback_improves_error_recall(self, result):
+        full = result.data["full DP cleaning"]
+        drop = result.data["drop-only (no rollback)"]
+        assert full["r_error"] > drop["r_error"] + 0.1
+
+    def test_full_cleaning_more_precise_too(self, result):
+        # Without the cleaner's definition-level guards and Eq. 21
+        # arbitration, naive dropping is also far less precise.
+        full = result.data["full DP cleaning"]
+        drop = result.data["drop-only (no rollback)"]
+        assert full["p_error"] > drop["p_error"]
+
+
+class TestPolicyAblation:
+    @pytest.fixture(scope="class")
+    def result(self, small_pipeline):
+        return run_ablation_policy(small_pipeline)
+
+    def test_nearest_drifts_more(self, result):
+        nearest = result.data["nearest"]
+        max_evidence = result.data["max_evidence"]
+        assert nearest["target_precision"] < max_evidence["target_precision"]
+
+    def test_both_policies_extract(self, result):
+        for row in result.data.values():
+            assert row["pairs"] > 1000

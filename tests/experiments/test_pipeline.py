@@ -1,0 +1,76 @@
+"""Tests for the end-to-end pipeline orchestrator."""
+
+from __future__ import annotations
+
+from repro.labeling import DPLabel
+
+
+class TestPipeline:
+    def test_corpus_cached(self, small_pipeline):
+        assert small_pipeline.corpus() is small_pipeline.corpus()
+
+    def test_extractions_independent(self, small_pipeline):
+        a = small_pipeline.extract()
+        b = small_pipeline.extract()
+        assert a.kb is not b.kb
+        assert set(a.kb.pairs()) == set(b.kb.pairs())
+
+    def test_artifacts_complete(self, small_artifacts):
+        assert len(small_artifacts.kb) > 1000
+        assert small_artifacts.seeds.counts()
+        assert small_artifacts.scores
+        assert len(small_artifacts.matrices) > 10
+        assert small_artifacts.verified
+
+    def test_analysis_concepts_exclude_junk(self, small_pipeline, small_artifacts):
+        world = small_artifacts.world
+        for concept in small_pipeline.analysis_concepts(small_artifacts.kb):
+            assert concept in world
+
+    def test_drift_emerged(self, small_artifacts):
+        truth = small_artifacts.truth
+        kb = small_artifacts.kb
+        errors = sum(
+            1
+            for concept in small_artifacts.target_concepts
+            for instance in kb.instances_of(concept)
+            if truth.is_error(concept, instance)
+        )
+        assert errors > 200
+
+    def test_detect_fn_returns_labels(self, small_pipeline):
+        detect = small_pipeline.detect_fn()
+        extraction = small_pipeline.extract()
+        labels = detect(extraction.kb)
+        assert labels
+        flat = [l for by in labels.values() for l in by.values()]
+        assert any(l is DPLabel.ACCIDENTAL for l in flat)
+        assert any(l is DPLabel.NON_DP for l in flat)
+
+    def test_ner_cached_per_accuracy(self, small_artifacts):
+        a = small_artifacts.ner(0.9)
+        assert a is small_artifacts.ner(0.9)
+        assert a is not small_artifacts.ner(0.95)
+
+    def test_verified_sample_is_truthful(self, small_artifacts):
+        world = small_artifacts.world
+        for pair in small_artifacts.verified:
+            assert world.is_member(pair.concept, pair.instance)
+
+
+class TestDiagnose:
+    def test_known_instance(self, small_artifacts):
+        kb = small_artifacts.kb
+        concept = "animal"
+        instance = next(iter(kb.instances_of(concept)))
+        report = small_artifacts.diagnose(concept, instance)
+        assert report["in_kb"]
+        assert report["evidence"]["count"] >= 1
+        assert len(report["features"]) == 4
+        assert isinstance(report["truth"]["correct"], bool)
+
+    def test_unknown_instance(self, small_artifacts):
+        report = small_artifacts.diagnose("animal", "no-such-instance")
+        assert not report["in_kb"]
+        assert "evidence" not in report
+        assert report["truth"]["correct"] is False

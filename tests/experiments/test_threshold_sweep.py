@@ -1,0 +1,35 @@
+"""Tests for the threshold-sweep extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.threshold_sweep import run_threshold_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(small_pipeline):
+    return run_threshold_sweep(small_pipeline)
+
+
+class TestThresholdSweep:
+    def test_curve_monotone_recall(self, sweep):
+        recalls = [row["r_error"] for row in sweep.data["curve"]]
+        assert recalls == sorted(recalls)  # bigger threshold removes more
+
+    def test_correct_recall_decreases(self, sweep):
+        r_corr = [row["r_corr"] for row in sweep.data["curve"]]
+        assert r_corr == sorted(r_corr, reverse=True)
+
+    def test_no_threshold_dominates_dp_cleaning(self, sweep):
+        # The paper's §6 point: the threshold family cannot reach the DP
+        # cleaning operating point on error recall *and* correct-pair
+        # retention simultaneously.
+        dp = sweep.data["dp_cleaning"]
+        for row in sweep.data["curve"]:
+            dominates = (
+                row["r_error"] >= dp["r_error"]
+                and row["p_error"] >= dp["p_error"]
+                and row["r_corr"] >= dp["r_corr"]
+            )
+            assert not dominates, row

@@ -1,0 +1,77 @@
+"""Edge-case tests for the extraction engine."""
+
+from __future__ import annotations
+
+from repro.config import ExtractionConfig
+from repro.corpus.corpus import Corpus
+from repro.corpus.sentence import Sentence
+from repro.extraction import SemanticIterativeExtractor
+
+
+def _sentence(sid, concepts, instances, surface=None):
+    return Sentence(
+        sid=sid, surface=surface or f"s{sid}", concepts=concepts,
+        instances=instances,
+    )
+
+
+class TestEngineEdges:
+    def test_only_ambiguous_sentences_yield_nothing(self):
+        corpus = Corpus((
+            _sentence(0, ("a", "b"), ("x", "y")),
+            _sentence(1, ("c", "d"), ("z",)),
+        ))
+        result = SemanticIterativeExtractor().run(corpus)
+        assert result.total_pairs == 0
+        assert set(result.unresolved_sids) == {0, 1}
+
+    def test_duplicate_surfaces_counted_once(self):
+        corpus = Corpus((
+            _sentence(0, ("animal",), ("dog",), surface="same"),
+            _sentence(1, ("animal",), ("dog",), surface="same"),
+            _sentence(2, ("animal",), ("dog",), surface="other"),
+        ))
+        result = SemanticIterativeExtractor().run(corpus)
+        from repro.kb import IsAPair
+
+        assert result.kb.count(IsAPair("animal", "dog")) == 2
+
+    def test_single_sentence_corpus(self):
+        corpus = Corpus((_sentence(0, ("animal",), ("dog", "cat")),))
+        result = SemanticIterativeExtractor().run(corpus)
+        assert result.total_pairs == 2
+        assert result.iterations == 1
+
+    def test_max_evidence_policy_resolves_to_stronger_side(self):
+        corpus = Corpus((
+            _sentence(0, ("animal",), ("chicken",)),
+            _sentence(1, ("food",), ("pork", "beef", "chicken")),
+            _sentence(2, ("animal", "food"), ("pork", "beef", "chicken")),
+        ))
+        nearest = SemanticIterativeExtractor(
+            ExtractionConfig(policy="nearest")
+        ).run(corpus)
+        assert nearest.kb.has_instance("animal", "pork")  # drift
+        stronger = SemanticIterativeExtractor(
+            ExtractionConfig(policy="max_evidence")
+        ).run(corpus)
+        assert not stronger.kb.has_instance("animal", "pork")
+
+    def test_stream_chunks_larger_than_corpus(self):
+        corpus = Corpus((
+            _sentence(0, ("animal",), ("chicken",)),
+            _sentence(1, ("animal", "food"), ("pork", "chicken")),
+        ))
+        result = SemanticIterativeExtractor(
+            ExtractionConfig(stream_chunks=50)
+        ).run(corpus)
+        assert result.kb.has_instance("animal", "pork")
+        assert not result.unresolved_sids
+
+    def test_resolution_independent_of_sid_gaps(self):
+        sparse = Corpus((
+            _sentence(10, ("animal",), ("chicken",)),
+            _sentence(99, ("animal", "food"), ("pork", "chicken")),
+        ))
+        result = SemanticIterativeExtractor().run(sparse)
+        assert result.kb.has_instance("animal", "pork")

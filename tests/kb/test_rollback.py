@@ -1,0 +1,105 @@
+"""Tests for cascading rollback."""
+
+from __future__ import annotations
+
+from repro.kb import IsAPair, KnowledgeBase, RollbackEngine
+
+
+def _drift_chain():
+    """chicken (core) triggers pork/beef; pork triggers ham."""
+    kb = KnowledgeBase()
+    kb.add_extraction(0, "animal", ("dog", "chicken"), iteration=1)
+    chicken = IsAPair("animal", "chicken")
+    r1 = kb.add_extraction(
+        1, "animal", ("pork", "beef", "chicken"), triggers=(chicken,), iteration=2
+    )
+    pork = IsAPair("animal", "pork")
+    r2 = kb.add_extraction(
+        2, "animal", ("ham", "pork"), triggers=(pork,), iteration=3
+    )
+    return kb, r1, r2
+
+
+class TestCascade:
+    def test_rolling_back_trigger_record_cascades(self):
+        kb, r1, r2 = _drift_chain()
+        result = RollbackEngine(kb).rollback_records([r1.rid])
+        assert set(result.records_rolled_back) == {r1.rid, r2.rid}
+        removed = set(result.pairs_removed)
+        assert IsAPair("animal", "pork") in removed
+        assert IsAPair("animal", "beef") in removed
+        assert IsAPair("animal", "ham") in removed
+        # chicken keeps its core evidence
+        assert kb.has_instance("animal", "chicken")
+        assert kb.has_instance("animal", "dog")
+
+    def test_rollback_is_idempotent(self):
+        kb, r1, _ = _drift_chain()
+        engine = RollbackEngine(kb)
+        engine.rollback_records([r1.rid])
+        result = engine.rollback_records([r1.rid])
+        assert result.num_records == 0
+
+    def test_surviving_evidence_blocks_cascade(self):
+        kb = KnowledgeBase()
+        kb.add_extraction(0, "animal", ("chicken",), iteration=1)
+        kb.add_extraction(1, "animal", ("pork",), iteration=1)  # core evidence
+        chicken = IsAPair("animal", "chicken")
+        r1 = kb.add_extraction(
+            2, "animal", ("pork", "beef"), triggers=(chicken,), iteration=2
+        )
+        result = RollbackEngine(kb).rollback_records([r1.rid])
+        # pork had independent core evidence, so it survives; beef dies.
+        assert IsAPair("animal", "beef") in set(result.pairs_removed)
+        assert kb.has_instance("animal", "pork")
+
+    def test_multi_trigger_record_survives_single_trigger_loss(self):
+        kb = KnowledgeBase()
+        kb.add_extraction(0, "animal", ("chicken",), iteration=1)
+        kb.add_extraction(1, "animal", ("duck",), iteration=1)
+        kb.add_extraction(1, "animal", ("duck",), iteration=1)
+        chicken = IsAPair("animal", "chicken")
+        duck = IsAPair("animal", "duck")
+        r = kb.add_extraction(
+            2, "animal", ("goose", "chicken", "duck"),
+            triggers=(chicken, duck), iteration=2,
+        )
+        # Remove chicken's core record: chicken pair dies, but the dependent
+        # record keeps its duck trigger and must survive.
+        core = kb.records_for_pair(chicken)
+        core_rids = [rec.rid for rec in core if rec.iteration == 1]
+        result = RollbackEngine(kb).rollback_records(core_rids)
+        assert r.rid not in result.records_rolled_back
+        assert kb.has_instance("animal", "goose")
+        # chicken's only real evidence was the core record; the dependent
+        # record merely used it as a trigger, which is not fresh evidence.
+        assert kb.count(chicken) == 0
+
+
+class TestRollbackPair:
+    def test_rollback_pair_removes_everything_it_activated(self):
+        kb, _, _ = _drift_chain()
+        chicken = IsAPair("animal", "chicken")
+        RollbackEngine(kb).rollback_pair(chicken)
+        assert not kb.has_instance("animal", "chicken")
+        assert not kb.has_instance("animal", "pork")
+        assert not kb.has_instance("animal", "beef")
+        assert not kb.has_instance("animal", "ham")
+
+    def test_sibling_pairs_of_producing_sentences_survive(self):
+        # Dropping the DP must not kill innocent siblings from the same
+        # sentence: record 0 produced both dog and chicken.
+        kb, _, _ = _drift_chain()
+        RollbackEngine(kb).rollback_pair(IsAPair("animal", "chicken"))
+        assert kb.has_instance("animal", "dog")
+
+    def test_rollback_pair_counts(self):
+        kb, _, _ = _drift_chain()
+        result = RollbackEngine(kb).rollback_pair(IsAPair("animal", "chicken"))
+        assert result.num_records == 2  # the two triggered records
+        assert result.num_pairs >= 4  # chicken, pork, beef, ham
+
+    def test_removed_pair_tracked(self):
+        kb, _, _ = _drift_chain()
+        RollbackEngine(kb).rollback_pair(IsAPair("animal", "chicken"))
+        assert IsAPair("animal", "chicken") in kb.removed_pairs()

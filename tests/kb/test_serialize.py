@@ -1,0 +1,133 @@
+"""Tests for knowledge-base persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cleaning import DPCleaner
+from repro.config import CleaningConfig
+from repro.errors import KnowledgeBaseError
+from repro.extraction import SemanticIterativeExtractor
+from repro.kb import IsAPair, KnowledgeBase, RollbackEngine, load_kb, save_kb
+from repro.labeling import DPLabel
+
+
+def _kb():
+    kb = KnowledgeBase()
+    kb.add_extraction(0, "animal", ("dog", "chicken"), iteration=1)
+    kb.add_extraction(1, "food", ("pork", "beef"), iteration=1)
+    chicken = IsAPair("animal", "chicken")
+    kb.add_extraction(
+        2, "animal", ("pork", "beef", "chicken"), triggers=(chicken,),
+        iteration=2,
+    )
+    return kb
+
+
+def _same_state(a: KnowledgeBase, b: KnowledgeBase) -> None:
+    assert set(a.pairs()) == set(b.pairs())
+    for pair in a.pairs():
+        assert a.count(pair) == b.count(pair)
+        assert a.first_iteration(pair) == b.first_iteration(pair)
+    assert a.removed_pairs() == b.removed_pairs()
+    a_records = {r.rid: r for r in a.records(include_inactive=True)}
+    b_records = {r.rid: r for r in b.records(include_inactive=True)}
+    assert set(a_records) == set(b_records)
+    for rid, record in a_records.items():
+        other = b_records[rid]
+        assert record.active == other.active
+        assert record.instances == other.instances
+        assert record.triggers == other.triggers
+        assert record.alive_triggers() == other.alive_triggers()
+
+
+class TestRoundTrip:
+    def test_plain_roundtrip(self, tmp_path):
+        kb = _kb()
+        path = tmp_path / "kb.jsonl"
+        save_kb(kb, path)
+        _same_state(kb, load_kb(path))
+
+    def test_roundtrip_after_rollback(self, tmp_path):
+        kb = _kb()
+        record = next(r for r in kb.records() if r.iteration == 2)
+        RollbackEngine(kb).rollback_records([record.rid])
+        path = tmp_path / "kb.jsonl"
+        save_kb(kb, path)
+        loaded = load_kb(path)
+        _same_state(kb, loaded)
+        assert not loaded.has_instance("animal", "pork")
+
+    def test_roundtrip_after_force_removal(self, tmp_path):
+        kb = _kb()
+        RollbackEngine(kb).rollback_pair(IsAPair("animal", "chicken"))
+        path = tmp_path / "kb.jsonl"
+        save_kb(kb, path)
+        loaded = load_kb(path)
+        _same_state(kb, loaded)
+        assert not loaded.has_instance("animal", "chicken")
+        assert loaded.has_instance("animal", "dog")
+
+    def test_loaded_kb_supports_further_rollback(self, tmp_path):
+        kb = _kb()
+        path = tmp_path / "kb.jsonl"
+        save_kb(kb, path)
+        loaded = load_kb(path)
+        RollbackEngine(loaded).rollback_pair(IsAPair("animal", "chicken"))
+        assert not loaded.has_instance("animal", "pork")
+
+    def test_roundtrip_after_full_cleaning(self, tmp_path, toy_extraction,
+                                           toy_corpus):
+        kb = toy_extraction.kb
+        # a light oracle-free cleaning pass to create mixed state
+        def detect(current):
+            labels = {}
+            for concept in current.concepts():
+                for instance in list(current.instances_of(concept))[:5]:
+                    pair = IsAPair(concept, instance)
+                    if current.count(pair) == 1:
+                        labels.setdefault(concept, {})[instance] = (
+                            DPLabel.ACCIDENTAL
+                        )
+            return labels
+
+        DPCleaner(detect, CleaningConfig(max_cleaning_rounds=1)).clean(
+            kb, toy_corpus.deduplicated()
+        )
+        path = tmp_path / "kb.jsonl"
+        save_kb(kb, path)
+        _same_state(kb, load_kb(path))
+
+
+class TestValidation:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(KnowledgeBaseError):
+            load_kb(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "other", "version": 1}) + "\n")
+        with pytest.raises(KnowledgeBaseError):
+            load_kb(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"format": "repro-kb", "version": 99}) + "\n"
+        )
+        with pytest.raises(KnowledgeBaseError):
+            load_kb(path)
+
+    def test_corrupt_record(self, tmp_path):
+        kb = _kb()
+        path = tmp_path / "kb.jsonl"
+        save_kb(kb, path)
+        content = path.read_text().splitlines()
+        content[1] = "{broken"
+        path.write_text("\n".join(content) + "\n")
+        with pytest.raises(KnowledgeBaseError):
+            load_kb(path)

@@ -1,0 +1,114 @@
+"""Tests for kernels and kernel PCA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import LearningError, NotFittedError
+from repro.learning import KernelPCA, get_kernel, linear_kernel, rbf_kernel
+
+
+class TestKernels:
+    def test_rbf_diagonal_ones(self):
+        x = np.random.default_rng(0).normal(size=(10, 4))
+        k = rbf_kernel(x, x, gamma=0.5)
+        assert np.allclose(np.diag(k), 1.0)
+
+    def test_rbf_symmetric_psd(self):
+        x = np.random.default_rng(1).normal(size=(12, 4))
+        k = rbf_kernel(x, x, gamma=1.0)
+        assert np.allclose(k, k.T)
+        eigenvalues = np.linalg.eigvalsh(k)
+        assert eigenvalues.min() > -1e-9
+
+    def test_rbf_bounded(self):
+        x = np.random.default_rng(2).normal(size=(8, 3))
+        y = np.random.default_rng(3).normal(size=(5, 3))
+        k = rbf_kernel(x, y, gamma=0.2)
+        assert np.all(k <= 1.0 + 1e-12)
+        assert np.all(k >= 0.0)
+
+    def test_linear_matches_dot(self):
+        x = np.arange(6, dtype=float).reshape(2, 3)
+        assert np.allclose(linear_kernel(x, x), x @ x.T)
+
+    def test_get_kernel(self):
+        assert get_kernel("rbf") is rbf_kernel
+        with pytest.raises(LearningError):
+            get_kernel("bogus")
+
+
+class TestKernelPCA:
+    def _data(self, n=40, d=4, seed=0):
+        return np.random.default_rng(seed).normal(size=(n, d))
+
+    def test_transform_shape(self):
+        x = self._data()
+        kpca = KernelPCA(n_components=5).fit(x)
+        z = kpca.transform(x)
+        assert z.shape == (40, kpca.n_components)
+        assert kpca.n_components <= 5
+
+    def test_components_capped_by_rank(self):
+        # Three distinct points give a centred kernel of rank <= 2.
+        x = np.array([[0.0, 0], [1, 0], [0, 1]])
+        kpca = KernelPCA(n_components=10).fit(x)
+        assert kpca.n_components <= 2
+
+    def test_training_projections_centred(self):
+        x = self._data()
+        z = KernelPCA(n_components=4).fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_components_uncorrelated(self):
+        x = self._data(n=60)
+        z = KernelPCA(n_components=4).fit_transform(x)
+        covariance = z.T @ z
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() < 1e-6
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            KernelPCA().transform(np.zeros((2, 4)))
+
+    def test_too_few_samples(self):
+        with pytest.raises(LearningError):
+            KernelPCA().fit(np.zeros((1, 4)))
+
+    def test_bad_n_components(self):
+        with pytest.raises(LearningError):
+            KernelPCA(n_components=0)
+
+    def test_fit_on_sample_respects_cap(self):
+        x = self._data(n=500)
+        kpca = KernelPCA.fit_on_sample(x, n_components=4, sample_size=50, seed=1)
+        z = kpca.transform(x)
+        assert z.shape[0] == 500
+
+    def test_empty_transform(self):
+        kpca = KernelPCA(n_components=3).fit(self._data())
+        z = kpca.transform(np.zeros((0, 4)))
+        assert z.shape == (0, kpca.n_components)
+
+    def test_deterministic(self):
+        x = self._data()
+        a = KernelPCA(n_components=4).fit(x).transform(x)
+        b = KernelPCA(n_components=4).fit(x).transform(x)
+        assert np.allclose(a, b)
+
+    @given(
+        arrays(
+            float, (12, 4),
+            elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_transform_finite_property(self, x):
+        x = x + np.random.default_rng(0).normal(scale=1e-3, size=x.shape)
+        kpca = KernelPCA(n_components=3, gamma=0.5).fit(x)
+        z = kpca.transform(x)
+        assert np.all(np.isfinite(z))

@@ -1,0 +1,80 @@
+"""Tests for the manifold regulariser (Eqs. 9–14, 17, Lemma 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.learning import knn_indices, local_laplacian, manifold_matrix
+
+
+class TestKnnIndices:
+    def test_self_first(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0]])
+        neighbours = knn_indices(x, k=2)
+        assert list(neighbours[:, 0]) == [0, 1, 2, 3]
+
+    def test_nearest_selected(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0]])
+        neighbours = knn_indices(x, k=1)
+        assert neighbours[0, 1] == 1
+        assert neighbours[3, 1] == 2
+
+    def test_k_capped_by_n(self):
+        x = np.zeros((3, 2))
+        neighbours = knn_indices(x, k=10)
+        assert neighbours.shape == (3, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LearningError):
+            knn_indices(np.zeros((0, 2)), k=1)
+
+
+class TestLocalLaplacian:
+    def test_psd(self):
+        # Lemma 1 of the paper: L_i is positive semi-definite.
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            block = rng.normal(size=(6, 3))
+            laplacian = local_laplacian(block, local_reg=0.1)
+            eigenvalues = np.linalg.eigvalsh(laplacian)
+            assert eigenvalues.min() > -1e-9
+
+    def test_symmetric(self):
+        block = np.random.default_rng(1).normal(size=(5, 3))
+        laplacian = local_laplacian(block, local_reg=0.5)
+        assert np.allclose(laplacian, laplacian.T)
+
+    def test_annihilates_constant_vector(self):
+        # H 1 = 0, so the all-ones vector is in the null space.
+        block = np.random.default_rng(2).normal(size=(5, 3))
+        laplacian = local_laplacian(block, local_reg=0.1)
+        ones = np.ones(5)
+        assert np.allclose(laplacian @ ones, 0.0, atol=1e-9)
+
+
+class TestManifoldMatrix:
+    def test_shape_and_psd(self):
+        x = np.random.default_rng(3).normal(size=(30, 5))
+        a = manifold_matrix(x, k_neighbors=4, local_reg=0.1)
+        assert a.shape == (5, 5)
+        eigenvalues = np.linalg.eigvalsh(0.5 * (a + a.T))
+        assert eigenvalues.min() > -1e-8
+
+    def test_empty_input(self):
+        a = manifold_matrix(np.zeros((0, 4)), k_neighbors=3, local_reg=0.1)
+        assert a.shape == (4, 4)
+        assert np.allclose(a, 0.0)
+
+    def test_penalises_manifold_violations(self):
+        # Points on a line: a weight vector along the line direction gives
+        # locally-linear predictions (small penalty); an orthogonal one is
+        # penalised no more strongly than the aligned one is close to zero.
+        t = np.linspace(0, 1, 20)
+        x = np.stack([t, 2 * t], axis=1)
+        noise = np.random.default_rng(4).normal(scale=1e-3, size=x.shape)
+        a = manifold_matrix(x + noise, k_neighbors=3, local_reg=0.01)
+        aligned = np.array([1.0, 2.0]) / np.sqrt(5)
+        penalty_aligned = aligned @ a @ aligned
+        assert penalty_aligned < np.trace(a)

@@ -1,0 +1,104 @@
+"""Tests for the from-scratch decision tree and random forest."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError, NotFittedError
+from repro.learning import DecisionTreeClassifier, RandomForestClassifier
+
+
+def _blobs(n=120, seed=0):
+    """Three separable Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+    x = np.vstack([
+        rng.normal(loc=centre, scale=0.5, size=(n // 3, 2))
+        for centre in centres
+    ])
+    y = np.repeat(np.arange(3), n // 3)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_separable_data(self):
+        x, y = _blobs()
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.97
+
+    def test_max_depth_limits_fit(self):
+        x, y = _blobs()
+        stump = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(x, y)
+        assert (deep.predict(x) == y).mean() >= (stump.predict(x) == y).mean()
+
+    def test_predict_proba_rows_sum_to_one(self):
+        x, y = _blobs()
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        proba = tree.predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_pure_node_is_leaf(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([1, 1])
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert (tree.predict(x) == 1).all()
+
+    def test_constant_features_fall_back_to_majority(self):
+        x = np.zeros((10, 3))
+        y = np.array([0] * 7 + [1] * 3)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert (tree.predict(x) == 0).all()
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(LearningError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(LearningError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestRandomForest:
+    def test_fits_separable_data(self):
+        x, y = _blobs()
+        forest = RandomForestClassifier(n_trees=15, seed=0).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.97
+
+    def test_generalises(self):
+        x, y = _blobs(n=120, seed=0)
+        x_test, y_test = _blobs(n=60, seed=99)
+        forest = RandomForestClassifier(n_trees=15, seed=0).fit(x, y)
+        assert (forest.predict(x_test) == y_test).mean() > 0.9
+
+    def test_deterministic_given_seed(self):
+        x, y = _blobs()
+        a = RandomForestClassifier(n_trees=5, seed=3).fit(x, y).predict(x)
+        b = RandomForestClassifier(n_trees=5, seed=3).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_proba_shape(self):
+        x, y = _blobs()
+        forest = RandomForestClassifier(n_trees=5, seed=0).fit(x, y)
+        assert forest.predict_proba(x).shape == (len(x), 3)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(LearningError):
+            RandomForestClassifier(n_trees=0)
+        with pytest.raises(LearningError):
+            RandomForestClassifier(max_features=1.5).fit(*_blobs())  # type: ignore[arg-type]
+
+    def test_max_features_variants(self):
+        x, y = _blobs()
+        for max_features in (None, "sqrt", 1):
+            forest = RandomForestClassifier(
+                n_trees=5, max_features=max_features, seed=0
+            ).fit(x, y)
+            assert (forest.predict(x) == y).mean() > 0.9

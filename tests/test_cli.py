@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        assert args.scale == 4.0
+        assert args.sentences == 24_000
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "figure4", "--scale", "2", "--sentences", "5000",
+             "--seed", "7"]
+        )
+        assert args.scale == 2.0
+        assert args.sentences == 5000
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table9"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "figure5c" in out
+
+    def test_run_small_experiment(self, capsys):
+        code = main(
+            ["run", "figure4", "--scale", "0.5", "--sentences", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "finished in" in out
+
+    def test_output_files_written(self, capsys, tmp_path):
+        import json
+
+        code = main(
+            ["run", "figure4", "--scale", "0.5", "--sentences", "2000",
+             "--output", str(tmp_path / "results")]
+        )
+        assert code == 0
+        text = (tmp_path / "results" / "figure4.txt").read_text()
+        assert "Fig. 4" in text
+        payload = json.loads(
+            (tmp_path / "results" / "figure4.json").read_text()
+        )
+        assert payload["name"] == "figure4"
+        assert "bands" in payload["data"]

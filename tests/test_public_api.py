@@ -1,0 +1,27 @@
+"""Smoke tests for the top-level public API."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_types_importable(self):
+        assert repro.KnowledgeBase
+        assert repro.DPCleaner
+        assert repro.DPDetector
+        assert repro.Pipeline
+
+    def test_docstring_mentions_paper(self):
+        assert "EDBT 2014" in repro.__doc__
+
+    def test_experiment_names_via_api(self):
+        names = repro.experiment_names()
+        assert "table1" in names

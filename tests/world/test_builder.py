@@ -1,0 +1,143 @@
+"""Tests for WorldBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownConceptError, WorldError
+from repro.nlp.types import EntityType
+from repro.world.builder import WorldBuilder
+
+
+def _base_builder() -> WorldBuilder:
+    builder = WorldBuilder(seed=1)
+    builder.add_domain("animals", EntityType.MISC)
+    builder.add_domain("foods", EntityType.MISC)
+    builder.add_concept("animal", "animals", size=20, popularity=2.0)
+    builder.add_concept("food", "foods", size=15)
+    return builder
+
+
+class TestDomainsAndConcepts:
+    def test_duplicate_domain_rejected(self):
+        builder = WorldBuilder(seed=1).add_domain("animals")
+        with pytest.raises(WorldError):
+            builder.add_domain("animals")
+
+    def test_duplicate_concept_rejected(self):
+        builder = _base_builder()
+        with pytest.raises(WorldError):
+            builder.add_concept("animal", "animals", size=5)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(WorldError):
+            WorldBuilder(seed=1).add_concept("animal", "nowhere", size=5)
+
+    def test_negative_size_rejected(self):
+        builder = _base_builder()
+        with pytest.raises(WorldError):
+            builder.add_concept("plant", "foods", size=-1)
+
+    def test_generated_members_count(self):
+        world = _base_builder().build()
+        assert world.concept("animal").size == 20
+        assert world.concept("food").size == 15
+
+    def test_explicit_members_shared(self):
+        builder = _base_builder()
+        builder.add_concept("pet", "animals", size=0,
+                            members=list(builder.build().members("animal"))[:5])
+        world = builder.build()
+        assert world.members("pet") <= world.members("animal")
+
+
+class TestBridges:
+    def test_bridges_create_polysemy(self):
+        builder = _base_builder()
+        builder.add_bridges("food", "animal", count=3)
+        world = builder.build()
+        shared = world.members("animal") & world.members("food")
+        assert len(shared) == 3
+        for name in shared:
+            assert world.is_polysemous(name)
+
+    def test_same_domain_bridge_rejected(self):
+        builder = _base_builder()
+        builder.add_concept("pet", "animals", size=5)
+        with pytest.raises(WorldError):
+            builder.add_bridges("animal", "pet", count=1)
+
+    def test_too_many_bridges_rejected(self):
+        builder = _base_builder()
+        with pytest.raises(WorldError):
+            builder.add_bridges("food", "animal", count=999)
+
+    def test_bridge_count_exact_without_popularity_preference(self):
+        builder = _base_builder()
+        builder.add_bridges("food", "animal", count=4, prefer_popular=False)
+        world = builder.build()
+        assert len(world.members("animal") & world.members("food")) == 4
+
+
+class TestSubsetsAndAliases:
+    def test_subset_members_are_parent_members(self):
+        builder = _base_builder()
+        builder.add_subset("animal", "pet", fraction=0.4)
+        world = builder.build()
+        assert world.members("pet") <= world.members("animal")
+        assert 0 < len(world.members("pet")) < world.concept("animal").size + 1
+
+    def test_subset_same_domain_not_exclusive(self):
+        builder = _base_builder()
+        builder.add_subset("animal", "pet", fraction=0.4)
+        world = builder.build()
+        assert not world.exclusive("animal", "pet")
+
+    def test_bad_fraction_rejected(self):
+        builder = _base_builder()
+        with pytest.raises(WorldError):
+            builder.add_subset("animal", "pet", fraction=0.0)
+
+    def test_alias_records_relationship(self):
+        builder = _base_builder()
+        builder.add_alias("animal", "beast", overlap=0.8)
+        world = builder.build()
+        assert "beast" in world.concept("animal").aliases
+        assert "animal" in world.concept("beast").aliases
+        overlap = len(world.members("beast") & world.members("animal"))
+        assert overlap / world.concept("beast").size > 0.75
+
+
+class TestPartners:
+    def test_partners_recorded(self):
+        builder = _base_builder()
+        builder.set_partners("animal", ["food"])
+        world = builder.build()
+        assert world.concept("animal").partners == ("food",)
+
+    def test_same_domain_partner_rejected(self):
+        builder = _base_builder()
+        builder.add_concept("pet", "animals", size=3)
+        with pytest.raises(WorldError):
+            builder.set_partners("animal", ["pet"])
+
+    def test_unknown_partner_rejected(self):
+        builder = _base_builder()
+        with pytest.raises(UnknownConceptError):
+            builder.set_partners("animal", ["ghost"])
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = _base_builder().build()
+        b = _base_builder().build()
+        assert a.members("animal") == b.members("animal")
+        assert set(a.instances) == set(b.instances)
+
+    def test_different_seed_different_members(self):
+        builder = WorldBuilder(seed=99)
+        builder.add_domain("animals")
+        builder.add_concept("animal", "animals", size=20)
+        other = builder.build()
+        base = _base_builder().build()
+        assert base.members("animal") != other.members("animal")

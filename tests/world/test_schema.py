@@ -1,0 +1,74 @@
+"""Tests for world schema value objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlp.types import EntityType
+from repro.world.schema import ConceptSpec, Domain, InstanceSpec, Sense
+
+
+class TestDomain:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Domain(name="")
+
+    def test_default_coarse_type(self):
+        assert Domain("animals").coarse_type is EntityType.MISC
+
+
+class TestSense:
+    def test_requires_concepts(self):
+        with pytest.raises(ValueError):
+            Sense(domain="animals", concepts=frozenset())
+
+
+class TestInstanceSpec:
+    def test_primary_domain_is_first_sense(self):
+        spec = InstanceSpec(
+            "chicken",
+            (
+                Sense("animals", frozenset({"animal"})),
+                Sense("foods", frozenset({"food"})),
+            ),
+        )
+        assert spec.primary_domain == "animals"
+        assert spec.is_polysemous
+        assert spec.concepts() == frozenset({"animal", "food"})
+
+    def test_monosemous(self):
+        spec = InstanceSpec("dog", (Sense("animals", frozenset({"animal"})),))
+        assert not spec.is_polysemous
+
+    def test_requires_senses(self):
+        with pytest.raises(ValueError):
+            InstanceSpec("dog", ())
+
+    def test_duplicate_sense_domains_rejected(self):
+        sense = Sense("animals", frozenset({"animal"}))
+        with pytest.raises(ValueError):
+            InstanceSpec("dog", (sense, sense))
+
+    def test_nonpositive_popularity_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceSpec(
+                "dog", (Sense("animals", frozenset({"animal"})),), popularity=0
+            )
+
+
+class TestConceptSpec:
+    def test_size(self):
+        spec = ConceptSpec("animal", "animals", ("dog", "cat"))
+        assert spec.size == 2
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            ConceptSpec("animal", "animals", ("dog", "dog"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ConceptSpec("", "animals", ())
+
+    def test_nonpositive_popularity_rejected(self):
+        with pytest.raises(ValueError):
+            ConceptSpec("animal", "animals", (), popularity=0)

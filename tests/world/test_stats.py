@@ -1,0 +1,43 @@
+"""Tests for world statistics (separate from presets)."""
+
+from __future__ import annotations
+
+from repro.nlp.types import EntityType
+from repro.world import WorldBuilder, world_stats
+
+
+def _world():
+    builder = WorldBuilder(seed=1)
+    builder.add_domain("a", EntityType.MISC)
+    builder.add_domain("b", EntityType.MISC)
+    builder.add_concept("c1", "a", size=10)
+    builder.add_concept("c2", "b", size=8)
+    builder.add_bridges("c1", "c2", count=2)
+    builder.set_partners("c2", ["c1"])
+    return builder.build()
+
+
+class TestWorldStats:
+    def test_counts(self):
+        stats = world_stats(_world())
+        assert stats.num_domains == 2
+        assert stats.num_concepts == 2
+        assert stats.num_instances == 18
+        assert stats.num_polysemous == 2
+        assert stats.polysemy_rate == 2 / 18
+
+    def test_concept_rows(self):
+        stats = world_stats(_world())
+        by_name = {row.name: row for row in stats.concepts}
+        assert by_name["c1"].size == 10
+        assert by_name["c2"].size == 10  # 8 + 2 bridges
+        assert by_name["c2"].polysemous_members == 2
+        assert by_name["c2"].partners == ("c1",)
+        assert by_name["c2"].polysemy_rate == 0.2
+
+    def test_empty_world(self):
+        from repro.world.taxonomy import World
+
+        stats = world_stats(World([], [], []))
+        assert stats.polysemy_rate == 0.0
+        assert stats.concepts == ()

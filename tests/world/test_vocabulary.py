@@ -1,0 +1,80 @@
+"""Tests for the pseudo-word vocabulary and typo model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorldError
+from repro.world.vocabulary import Vocabulary, make_typo
+
+
+class TestVocabulary:
+    def test_fresh_names_are_unique(self):
+        vocab = Vocabulary(np.random.default_rng(0))
+        names = vocab.batch(500)
+        assert len(set(names)) == 500
+
+    def test_deterministic_given_seed(self):
+        a = Vocabulary(np.random.default_rng(3)).batch(50)
+        b = Vocabulary(np.random.default_rng(3)).batch(50)
+        assert a == b
+
+    def test_reserve_collision_raises(self):
+        vocab = Vocabulary(np.random.default_rng(0))
+        vocab.reserve("dog")
+        with pytest.raises(WorldError):
+            vocab.reserve("dog")
+
+    def test_reserved_names_never_regenerated(self):
+        vocab = Vocabulary(np.random.default_rng(0))
+        probe = Vocabulary(np.random.default_rng(0)).fresh()
+        vocab.reserve(probe)
+        names = vocab.batch(200)
+        assert probe not in names
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary(np.random.default_rng(0))
+        name = vocab.fresh()
+        assert name in vocab
+        assert len(vocab) == 1
+
+    def test_two_word_rate_zero_gives_single_words(self):
+        vocab = Vocabulary(np.random.default_rng(0), two_word_rate=0.0)
+        assert all(" " not in name for name in vocab.batch(100))
+
+    def test_two_word_rate_one_gives_two_words(self):
+        vocab = Vocabulary(np.random.default_rng(0), two_word_rate=1.0)
+        assert all(" " in name for name in vocab.batch(100))
+
+    def test_bad_two_word_rate(self):
+        with pytest.raises(ValueError):
+            Vocabulary(np.random.default_rng(0), two_word_rate=1.5)
+
+    def test_names_never_contain_grammar_words(self):
+        # " and ", " from ", " such as " are structural separators in the
+        # Hearst templates; instance surfaces must never collide with them.
+        vocab = Vocabulary(np.random.default_rng(1), two_word_rate=1.0)
+        for name in vocab.batch(300):
+            for word in name.split(" "):
+                assert word not in {"and", "from", "such", "as", "other", "than"}
+
+
+class TestMakeTypo:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60)
+    def test_typo_differs_from_original(self, seed):
+        rng = np.random.default_rng(seed)
+        name = Vocabulary(np.random.default_rng(seed)).fresh()
+        assert make_typo(name, rng) != name
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_typo("", np.random.default_rng(0))
+
+    def test_deterministic(self):
+        a = make_typo("singapore", np.random.default_rng(5))
+        b = make_typo("singapore", np.random.default_rng(5))
+        assert a == b
