@@ -1,0 +1,20 @@
+# Developer entry points. `make bench` regenerates the benchmark evidence
+# file committed at the repo root (BENCH_<date>.json).
+
+PYTEST := PYTHONPATH=src python -m pytest
+DATE   := $(shell date +%Y-%m-%d)
+
+.PHONY: test bench bench-substrates
+
+test:
+	$(PYTEST) -x -q
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only \
+		--benchmark-json=BENCH_$(DATE).json
+
+# The substrate micro-benchmarks alone (ranking kernel, cleaning round,
+# extraction) — the quick loop while optimising.
+bench-substrates:
+	$(PYTEST) benchmarks/test_bench_substrates.py --benchmark-only \
+		--benchmark-json=BENCH_$(DATE).json

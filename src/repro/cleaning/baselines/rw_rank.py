@@ -48,19 +48,23 @@ def learn_relative_threshold(
             rows.append((score / uniform, seed.label is DPLabel.ACCIDENTAL))
     if not rows:
         return 0.5
-    best_f1 = -1.0
-    best = 0.5
-    for multiplier in _CANDIDATE_MULTIPLIERS:
-        tp = sum(1 for rel, err in rows if err and rel < multiplier)
-        fp = sum(1 for rel, err in rows if not err and rel < multiplier)
-        fn = sum(1 for rel, err in rows if err and rel >= multiplier)
-        if tp == 0:
-            continue
+    relative = np.array([rel for rel, _ in rows], dtype=float)
+    is_error = np.array([err for _, err in rows], dtype=bool)
+    # One comparison matrix covers every candidate at once: below[m, i] is
+    # True when row i falls under multiplier m.
+    below = relative[None, :] < _CANDIDATE_MULTIPLIERS[:, None]
+    tp = (below & is_error[None, :]).sum(axis=1).astype(float)
+    fp = (below & ~is_error[None, :]).sum(axis=1).astype(float)
+    fn = (~below & is_error[None, :]).sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
         precision = tp / (tp + fp)
         recall = tp / (tp + fn)
-        f1 = 2 * precision * recall / (precision + recall)
-        if f1 > best_f1:
-            best_f1 = f1
+        f1 = np.where(tp > 0, 2 * precision * recall / (precision + recall), -1.0)
+    best_f1 = -1.0
+    best = 0.5
+    for multiplier, score in zip(_CANDIDATE_MULTIPLIERS, f1):
+        if score > best_f1 and score >= 0:
+            best_f1 = float(score)
             best = float(multiplier)
     return best
 

@@ -17,7 +17,7 @@ reached.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Mapping
 
 from ..concepts.exclusion import MutualExclusionIndex
@@ -59,10 +59,19 @@ class DPCleaner(BaseCleaner):
         detect_fn: DetectFn,
         config: CleaningConfig | None = None,
         ranker: RandomWalkRanker | None = None,
+        use_cache: bool = True,
     ) -> None:
         self._detect_fn = detect_fn
         self._config = config or CleaningConfig()
-        self._ranker = ranker or RandomWalkRanker()
+        # The cleaner issues two score_all calls per round over a KB it
+        # mutates incrementally; the ranker's mutation-versioned cache
+        # (see Ranker.score_all) re-ranks only the concepts the rollbacks
+        # touched.  ``use_cache=False`` forces full re-ranking every call.
+        # A detection callback may publish the ranker it scores with (see
+        # Pipeline.detect_fn); sharing it shares the warm score cache.
+        if ranker is None and use_cache:
+            ranker = getattr(detect_fn, "ranker", None)
+        self._ranker = ranker or RandomWalkRanker(cache=use_cache)
 
     def clean(self, kb: KnowledgeBase, corpus: Corpus) -> CleaningResult:
         before = kb.removed_pairs()
@@ -178,6 +187,10 @@ class DPCleaner(BaseCleaner):
         check_scores = self._ranker.score_all(kb, sorted(candidate_concepts))
         to_roll: list[int] = []
         seen_records: set[int] = set()
+        # Several DPs can trigger records of the same sentence; Eq. 21
+        # only depends on (sentence, chosen concept, scores), so the
+        # verdict is shared and just restamped with the trigger at hand.
+        checked: dict[tuple[int, str], SentenceCheck] = {}
         for pair, rid in checkable:
             if rid in seen_records:
                 continue
@@ -185,10 +198,18 @@ class DPCleaner(BaseCleaner):
             record = kb.record(rid)
             if not record.active:
                 continue
-            sentence = by_sid[record.sid]
-            check = check_extraction(
-                sentence, record.concept, pair.instance, check_scores
-            )
+            key = (record.sid, record.concept)
+            check = checked.get(key)
+            if check is None:
+                check = check_extraction(
+                    by_sid[record.sid],
+                    record.concept,
+                    pair.instance,
+                    check_scores,
+                )
+                checked[key] = check
+            elif check.trigger_instance != pair.instance:
+                check = replace(check, trigger_instance=pair.instance)
             stats.sentence_checks.append(check)
             if check.is_drifting:
                 to_roll.append(rid)

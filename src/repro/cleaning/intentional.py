@@ -40,16 +40,15 @@ def score_sentence(
 ) -> dict[str, float]:
     """Eq. 21 for every candidate concept of a sentence."""
     result: dict[str, float] = {concept: 0.0 for concept in sentence.concepts}
+    rows = [(concept, scores.get(concept, {})) for concept in sentence.concepts]
     for instance in sentence.instances:
-        denominator = sum(
-            scores.get(concept, {}).get(instance, 0.0)
-            for concept in sentence.concepts
-        )
+        denominator = 0.0
+        for _, row in rows:
+            denominator += row.get(instance, 0.0)
         if denominator <= 0:
             continue
-        for concept in sentence.concepts:
-            numerator = scores.get(concept, {}).get(instance, 0.0)
-            result[concept] += numerator / denominator
+        for concept, row in rows:
+            result[concept] += row.get(instance, 0.0) / denominator
     return result
 
 

@@ -47,6 +47,9 @@ class MutualExclusionIndex:
             }
             similar.add(concept)
             self._groups[concept] = frozenset(similar)
+        # Pairwise exclusivity memo; sound because the similarity snapshot
+        # is fixed at construction.
+        self._exclusive_cache: dict[tuple[str, str], bool] = {}
 
     @property
     def similarity(self) -> CoreSimilarity:
@@ -75,6 +78,19 @@ class MutualExclusionIndex:
         """Mutual exclusion with similarity-group propagation."""
         if concept_a == concept_b:
             return False
+        key = (
+            (concept_a, concept_b)
+            if concept_a < concept_b
+            else (concept_b, concept_a)
+        )
+        cached = self._exclusive_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute_exclusive(concept_a, concept_b)
+        self._exclusive_cache[key] = result
+        return result
+
+    def _compute_exclusive(self, concept_a: str, concept_b: str) -> bool:
         group_a = self.group(concept_a)
         group_b = self.group(concept_b)
         if group_a & group_b:
@@ -99,3 +115,14 @@ class MutualExclusionIndex:
             for other in kb.concepts_with_instance(instance)
             if other != concept and self.exclusive(concept, other)
         )
+
+    def count_exclusive_containing(
+        self, kb: KnowledgeBase, concept: str, instance: str
+    ) -> int:
+        """``len(exclusive_concepts_containing(...))`` without the set."""
+        exclusive = self.exclusive
+        count = 0
+        for other in kb.concepts_with_instance(instance):
+            if other != concept and exclusive(concept, other):
+                count += 1
+        return count

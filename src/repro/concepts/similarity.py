@@ -12,6 +12,7 @@ concepts would forbid; all other pairs have similarity exactly zero.
 
 from __future__ import annotations
 
+import bisect
 import math
 from collections.abc import Iterator
 
@@ -94,10 +95,12 @@ class CoreSimilarity:
         nonzero = 0
         for _, _, value in self.overlapping_pairs():
             nonzero += 1
-            for i in range(len(bin_edges) - 1):
-                if bin_edges[i] <= value < bin_edges[i + 1]:
-                    counts[i] += 1
-                    break
+            # bisect_right - 1 is the unique i with edges[i] <= value <
+            # edges[i + 1]; values outside [edges[0], edges[-1]) land at
+            # -1 or len(counts) and are dropped, as the scan did.
+            i = bisect.bisect_right(bin_edges, value) - 1
+            if 0 <= i < len(counts):
+                counts[i] += 1
         total = len(self._cores)
         all_pairs = total * (total - 1) // 2
         return counts, all_pairs - nonzero

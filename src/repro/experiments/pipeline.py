@@ -180,6 +180,10 @@ class Pipeline:
         self._config = config
         self._streams = RandomStreams(config.seed)
         self._corpus: Corpus | None = None
+        # One ranker for every stage: its mutation-versioned score cache
+        # makes repeated score_all calls (analysis, per-round detection
+        # refits during cleaning) re-rank only concepts the KB mutated.
+        self._ranker = RandomWalkRanker()
 
     @property
     def preset(self) -> WorldPreset:
@@ -226,7 +230,7 @@ class Pipeline:
         world = self._preset.world
         exclusion = MutualExclusionIndex(kb, self._config.similarity)
         concepts = self.analysis_concepts(kb)
-        scores = RandomWalkRanker().score_all(kb, concepts)
+        scores = self._ranker.score_all(kb, concepts)
         features = FeatureExtractor(kb, exclusion, scores)
         matrices = {
             concept: build_concept_matrix(features, concept)
@@ -301,7 +305,7 @@ class Pipeline:
         def detect(kb: KnowledgeBase) -> dict[str, dict[str, DPLabel]]:
             exclusion = MutualExclusionIndex(kb, self._config.similarity)
             concepts = self.analysis_concepts(kb)
-            scores = RandomWalkRanker().score_all(kb, concepts)
+            scores = self._ranker.score_all(kb, concepts)
             features = FeatureExtractor(kb, exclusion, scores)
             matrices = {
                 concept: build_concept_matrix(features, concept)
@@ -320,6 +324,9 @@ class Pipeline:
             detector.fit(matrices, seeds)
             return detector.predict_all()
 
+        # Let the cleaner reuse this pipeline's ranker (and its score
+        # cache) instead of re-solving the same concepts from scratch.
+        detect.ranker = self._ranker
         return detect
 
     def _verified_sample(self, kb: KnowledgeBase) -> frozenset[IsAPair]:

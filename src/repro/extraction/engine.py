@@ -93,6 +93,7 @@ class SemanticIterativeExtractor:
             pairs_before = len(kb)
             still_unresolved = []
             resolved_count = 0
+            grown: set[str] = set()
             for sentence in unresolved:
                 if arrival[sentence.sid] > iteration:
                     still_unresolved.append(sentence)
@@ -113,14 +114,17 @@ class SemanticIterativeExtractor:
                     triggers=resolution.triggers,
                     iteration=iteration,
                 )
+                grown.add(resolution.concept)
                 resolved_count += 1
             unresolved = still_unresolved
             all_arrived = iteration >= 1 + config.stream_chunks
             if resolved_count == 0 and all_arrived:
                 break
-            visible = {
-                concept: kb.instances_of(concept) for concept in kb.concepts()
-            }
+            # Re-snapshot only the concepts that gained instances this
+            # iteration; extraction never removes knowledge, so every other
+            # concept's snapshot is still current.
+            for concept in grown:
+                visible[concept] = kb.instances_of(concept)
             log.record(
                 iteration=iteration,
                 sentences_resolved=resolved_count,

@@ -82,39 +82,61 @@ class FeatureExtractor:
 
     def extract(self, concept: str, instance: str) -> FeatureVector:
         """Compute the features of one instance under one concept."""
+        return self._extract(
+            concept,
+            instance,
+            self._core_frequency(concept),
+            self._scores.get(concept, {}),
+        )
+
+    def _extract(
+        self,
+        concept: str,
+        instance: str,
+        core: Mapping[str, int],
+        scores: Mapping[str, float],
+    ) -> FeatureVector:
         subs = self._kb.sub_instance_counts(concept, instance)
-        core = self._core_frequency(concept)
-        scores = self._scores.get(concept, {})
-        if self._f1_mode == "cosine":
-            f1 = cosine_counts(subs, core)
+        get_score = scores.get
+        if subs:
+            # One pass over the triggered sub-instances collects the core
+            # mass (f1) and the score sum (f4) together.
+            total = 0
+            on_core = 0
+            score_sum = 0.0
+            for name, count in subs.items():
+                total += count
+                if name in core:
+                    on_core += count
+                score_sum += get_score(name, 0.0)
+            f4 = score_sum / len(subs)
+            if self._f1_mode == "cosine":
+                f1 = cosine_counts(subs, core)
+            else:
+                f1 = on_core / total if total else 0.0
         else:
-            total = sum(subs.values())
-            f1 = (
-                sum(count for name, count in subs.items() if name in core)
-                / total
-                if total
-                else 0.0
-            )
+            f1 = 0.0
+            f4 = 0.0
         f2 = float(
-            len(
-                self._exclusion.exclusive_concepts_containing(
-                    self._kb, concept, instance
-                )
+            self._exclusion.count_exclusive_containing(
+                self._kb, concept, instance
             )
         )
-        f3 = float(scores.get(instance, 0.0))
-        if subs:
-            f4 = sum(scores.get(name, 0.0) for name in subs) / len(subs)
-        else:
-            f4 = 0.0
+        f3 = float(get_score(instance, 0.0))
         return FeatureVector(
             concept=concept, instance=instance, f1=f1, f2=f2, f3=f3, f4=f4
         )
 
     def extract_concept(self, concept: str) -> list[FeatureVector]:
-        """Features for every alive instance of a concept (sorted order)."""
+        """Features for every alive instance of a concept (sorted order).
+
+        Hoists the per-concept lookups (core distribution, score table) out
+        of the per-instance loop.
+        """
+        core = self._core_frequency(concept)
+        scores = self._scores.get(concept, {})
         return [
-            self.extract(concept, instance)
+            self._extract(concept, instance, core, scores)
             for instance in sorted(self._kb.instances_of(concept))
         ]
 

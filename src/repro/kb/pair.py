@@ -19,6 +19,12 @@ class IsAPair:
             raise ValueError("pair concept must be non-empty")
         if not self.instance:
             raise ValueError("pair instance must be non-empty")
+        # Pairs spend their lives as dict/set keys; precomputing the hash
+        # beats the generated per-lookup tuple hash.
+        object.__setattr__(self, "_hash", hash((self.concept, self.instance)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - display convenience
         return f"({self.instance} isA {self.concept})"

@@ -44,6 +44,13 @@ class ExtractionRecord:
     iteration: int
     active: bool = True
     _dead_triggers: set[IsAPair] = field(default_factory=set, repr=False)
+    # Lazy caches; ``triggers``/``instances`` never change after creation.
+    _trigger_instances: tuple[str, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _produced: tuple[IsAPair, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.iteration < 1:
@@ -64,17 +71,25 @@ class ExtractionRecord:
         prevents self-support cycles where a drift error keeps its own
         trigger alive through the sentence it appeared in.
         """
-        trigger_instances = set(self.trigger_instances)
-        return tuple(
-            IsAPair(self.concept, e)
-            for e in self.instances
-            if e not in trigger_instances
-        )
+        cached = self._produced
+        if cached is None:
+            trigger_instances = set(self.trigger_instances)
+            cached = tuple(
+                IsAPair(self.concept, e)
+                for e in self.instances
+                if e not in trigger_instances
+            )
+            self._produced = cached
+        return cached
 
     @property
     def trigger_instances(self) -> tuple[str, ...]:
         """The instances (not pairs) that triggered this record."""
-        return tuple(t.instance for t in self.triggers)
+        cached = self._trigger_instances
+        if cached is None:
+            cached = tuple(t.instance for t in self.triggers)
+            self._trigger_instances = cached
+        return cached
 
     @property
     def is_root(self) -> bool:

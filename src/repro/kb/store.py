@@ -10,12 +10,21 @@ Design notes
 * ``first_iteration`` of a pair never changes, even if later records add
   evidence, so ``E(C, i)`` (the paper's per-iteration snapshots) can always
   be reconstructed.
+* The store is **mutation-versioned**: every write (``add_extraction``,
+  ``remove_pair``, ``deactivate_record``) bumps a monotonic
+  :attr:`version` and stamps the touched concept in
+  :meth:`concept_version`.  Downstream caches — ranking scores, the sorted
+  concept list, the per-concept sub-instance memo — compare versions
+  instead of recomputing, so multi-round cleaning only re-derives state
+  for the concepts a rollback actually changed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
+
+import numpy as np
 
 from ..errors import KnowledgeBaseError
 from .pair import IsAPair
@@ -38,12 +47,67 @@ class KnowledgeBase:
 
     def __init__(self) -> None:
         self._pairs: dict[IsAPair, PairState] = {}
-        self._known: dict[str, set[str]] = {}
+        # concept → {instance: state}; mirrors _pairs, keyed for the
+        # per-concept reads the ranking substrate does in bulk.
+        self._by_concept: dict[str, dict[str, PairState]] = {}
         self._instance_concepts: dict[str, set[str]] = {}
         self._records: dict[int, ExtractionRecord] = {}
         self._records_by_trigger: dict[IsAPair, set[int]] = {}
+        # concept → rids in insertion order; records are only ever
+        # deactivated, never deleted, so the lists stay valid.
+        self._records_by_concept: dict[str, list[int]] = {}
+        # Trigger-edge substrate for the ranking graphs.  Instances get a
+        # stable per-concept id on first extraction (never reassigned, even
+        # across removal and re-extraction), and every trigger → instance
+        # occurrence is appended as a flat code ``source_id << 32 |
+        # target_id`` with its record id alongside.  The lists are
+        # append-only: deactivated records are filtered out by rid at
+        # graph-build time, so a rebuild is array work instead of a scan
+        # of record objects.
+        self._instance_ids: dict[str, dict[str, int]] = {}
+        self._edge_codes: dict[str, list[int]] = {}
+        self._edge_rids: dict[str, list[int]] = {}
+        # record activity as a flat bool array indexed by rid (doubling
+        # growth), so bulk readers can mask by rid without touching
+        # record objects.
+        self._active_flags = np.zeros(1024, dtype=bool)
         self._next_rid = 0
         self._removed_pairs: set[IsAPair] = set()
+        # Mutation versioning (see module docstring).
+        self._version = 0
+        self._concept_version: dict[str, int] = {}
+        self._concepts_cache: tuple[str, ...] | None = None
+        # concept → (version, {instance: sub-instance counts}) memo.
+        self._subs_cache: dict[str, tuple[int, dict[str, dict[str, int]]]] = {}
+        # concept → (version, {instance: core count}) memo.
+        self._core_cache: dict[str, tuple[int, dict[str, int]]] = {}
+        # concept → (version, core instance frozenset) memo.
+        self._core_set_cache: dict[str, tuple[int, frozenset[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation."""
+        return self._version
+
+    def concept_version(self, concept: str) -> int:
+        """Version at which ``concept`` was last mutated (0 = never)."""
+        return self._concept_version.get(concept, 0)
+
+    def dirty_concepts_since(self, version: int) -> frozenset[str]:
+        """Concepts mutated after the given version."""
+        return frozenset(
+            concept
+            for concept, touched in self._concept_version.items()
+            if touched > version
+        )
+
+    def _touch(self, concept: str) -> None:
+        self._version += 1
+        self._concept_version[concept] = self._version
+        self._concepts_cache = None
 
     # ------------------------------------------------------------------
     # Writing
@@ -76,15 +140,39 @@ class KnowledgeBase:
         )
         self._next_rid += 1
         self._records[record.rid] = record
+        if record.rid >= self._active_flags.size:
+            grown = np.zeros(self._active_flags.size * 2, dtype=bool)
+            grown[: self._active_flags.size] = self._active_flags
+            self._active_flags = grown
+        self._active_flags[record.rid] = True
+        self._records_by_concept.setdefault(concept, []).append(record.rid)
+        ids = self._instance_ids.setdefault(concept, {})
+        for pair in record.produced:
+            if pair.instance not in ids:
+                ids[pair.instance] = len(ids)
+        if triggers:
+            # Every edge endpoint has an id by now: targets are either
+            # produced above or trigger instances, and triggers are
+            # existing pairs (hence produced by an earlier record).
+            codes = self._edge_codes.setdefault(concept, [])
+            rids = self._edge_rids.setdefault(concept, [])
+            rid = record.rid
+            for trigger in record.trigger_instances:
+                base = ids[trigger] << 32
+                for e in instances:
+                    if e != trigger:
+                        codes.append(base | ids[e])
+                        rids.append(rid)
         for trigger in triggers:
             self._records_by_trigger.setdefault(trigger, set()).add(record.rid)
         for pair in record.produced:
             state = self._pairs.get(pair)
             if state is None:
-                self._pairs[pair] = PairState(
+                state = PairState(
                     count=1, first_iteration=iteration, record_ids=[record.rid]
                 )
-                self._known.setdefault(concept, set()).add(pair.instance)
+                self._pairs[pair] = state
+                self._by_concept.setdefault(concept, {})[pair.instance] = state
                 self._instance_concepts.setdefault(pair.instance, set()).add(
                     concept
                 )
@@ -92,6 +180,7 @@ class KnowledgeBase:
             else:
                 state.count += 1
                 state.record_ids.append(record.rid)
+        self._touch(concept)
         return record
 
     # ------------------------------------------------------------------
@@ -120,16 +209,24 @@ class KnowledgeBase:
         return state.first_iteration
 
     def concepts(self) -> list[str]:
-        """All concepts with at least one alive instance."""
-        return [c for c, known in self._known.items() if known]
+        """All concepts with at least one alive instance (sorted).
+
+        The sorted tuple is cached and invalidated by the version counter,
+        so read-heavy phases (scoring, labelling) do not re-sort.
+        """
+        if self._concepts_cache is None:
+            self._concepts_cache = tuple(
+                sorted(c for c, known in self._by_concept.items() if known)
+            )
+        return list(self._concepts_cache)
 
     def instances_of(self, concept: str) -> frozenset[str]:
         """Alive instances under a concept."""
-        return frozenset(self._known.get(concept, ()))
+        return frozenset(self._by_concept.get(concept, ()))
 
     def has_instance(self, concept: str, instance: str) -> bool:
         """True iff ``(concept, instance)`` is alive."""
-        return instance in self._known.get(concept, ())
+        return instance in self._by_concept.get(concept, ())
 
     def concepts_with_instance(self, instance: str) -> frozenset[str]:
         """All concepts an instance is currently (alive) extracted under."""
@@ -137,29 +234,70 @@ class KnowledgeBase:
 
     def core_instances(self, concept: str) -> frozenset[str]:
         """Instances first extracted in iteration 1 (the paper's Core(C))."""
-        return frozenset(
-            pair.instance
-            for pair, state in self._pairs.items()
-            if pair.concept == concept and state.first_iteration == 1
-        )
+        cached = self._core_set_cache.get(concept)
+        current = self.concept_version(concept)
+        if cached is None or cached[0] != current:
+            cached = (
+                current,
+                frozenset(
+                    instance
+                    for instance, state in self._by_concept.get(
+                        concept, {}
+                    ).items()
+                    if state.first_iteration == 1
+                ),
+            )
+            self._core_set_cache[concept] = cached
+        return cached[1]
+
+    def instance_stats(self, concept: str, instance: str) -> tuple[int, int] | None:
+        """``(count, first_iteration)`` for an alive pair, else ``None``.
+
+        One lookup for readers that would otherwise pay three
+        (``__contains__`` + ``count`` + ``first_iteration``).
+        """
+        by_instance = self._by_concept.get(concept)
+        if by_instance is None:
+            return None
+        state = by_instance.get(instance)
+        if state is None:
+            return None
+        return (state.count, state.first_iteration)
 
     def core_count(self, pair: IsAPair) -> int:
         """Evidence for a pair coming from iteration-1 records only."""
-        state = self._pairs.get(pair)
-        if state is None:
+        if pair not in self._pairs:
             return 0
-        return sum(
-            1
-            for rid in state.record_ids
-            if self._records[rid].active and self._records[rid].iteration == 1
-        )
+        return self.core_counts(pair.concept).get(pair.instance, 0)
+
+    def core_counts(self, concept: str) -> dict[str, int]:
+        """``core_count`` for every alive instance of a concept (memoised).
+
+        The restart vector of the trigger graph needs this for all nodes at
+        once; the memo is invalidated by the version counter.
+        """
+        cached = self._core_cache.get(concept)
+        current = self.concept_version(concept)
+        if cached is None or cached[0] != current:
+            records = self._records
+            counts = {}
+            for instance, state in self._by_concept.get(concept, {}).items():
+                total = 0
+                for rid in state.record_ids:
+                    record = records[rid]
+                    if record.active and record.iteration == 1:
+                        total += 1
+                counts[instance] = total
+            cached = (current, counts)
+            self._core_cache[concept] = cached
+        return cached[1]
 
     def instances_by_iteration(self, concept: str, iteration: int) -> frozenset[str]:
         """``E(C, i)``: instances first learned in or before ``iteration``."""
         return frozenset(
-            pair.instance
-            for pair, state in self._pairs.items()
-            if pair.concept == concept and state.first_iteration <= iteration
+            instance
+            for instance, state in self._by_concept.get(concept, {}).items()
+            if state.first_iteration <= iteration
         )
 
     def removed_pairs(self) -> frozenset[IsAPair]:
@@ -180,6 +318,48 @@ class KnowledgeBase:
         """Iterate over records (active only, by default)."""
         for record in self._records.values():
             if include_inactive or record.active:
+                yield record
+
+    def instance_id_map(self, concept: str) -> dict[str, int]:
+        """Stable per-concept instance ids (grow-only; treat as read-only).
+
+        Ids are assigned at first extraction and survive removal, so
+        edge codes recorded against them never need rewriting.
+        """
+        return self._instance_ids.get(concept, {})
+
+    def edge_occurrences(self, concept: str) -> tuple[list[int], list[int]]:
+        """Trigger-edge occurrences of a concept (treat as read-only).
+
+        Returns ``(codes, rids)``: parallel append-only lists with one
+        entry per trigger → instance occurrence, where a code is
+        ``source_id << 32 | target_id`` over :meth:`instance_id_map` ids
+        and ``rids[i]`` is the record the occurrence came from.  Consumers
+        filter by record activity themselves.
+        """
+        return (
+            self._edge_codes.get(concept, []),
+            self._edge_rids.get(concept, []),
+        )
+
+    def record_active_flags(self) -> np.ndarray:
+        """Record activity by rid as a bool array (treat as read-only).
+
+        May be longer than the number of records; indexing by any valid
+        rid is always in bounds.
+        """
+        return self._active_flags
+
+    def records_for_concept(self, concept: str) -> Iterator[ExtractionRecord]:
+        """Active records extracted under one concept (insertion order).
+
+        Indexed, so per-concept consumers (the trigger-graph builder) do
+        not scan the whole record table.
+        """
+        records = self._records
+        for rid in self._records_by_concept.get(concept, ()):
+            record = records[rid]
+            if record.active:
                 yield record
 
     def records_for_pair(self, pair: IsAPair) -> list[ExtractionRecord]:
@@ -210,34 +390,43 @@ class KnowledgeBase:
         count — Fig. 2 of the paper shows non-DP triggers re-extracting
         popular core instances, which is exactly what makes their
         sub-instance distribution resemble the class distribution.
+
+        Results are memoised per concept and invalidated by the version
+        counter (features and seed labelling both query every instance).
         """
-        trigger = IsAPair(concept, instance)
-        triggered = self.records_triggered_by(trigger)
-        counts: dict[str, int] = {}
-        for record in triggered:
-            for other in record.instances:
-                if other != instance:
-                    counts[other] = counts.get(other, 0) + 1
+        cached = self._subs_cache.get(concept)
+        current = self.concept_version(concept)
+        if cached is None or cached[0] != current:
+            cached = (current, {})
+            self._subs_cache[concept] = cached
+        by_instance = cached[1]
+        counts = by_instance.get(instance)
+        if counts is None:
+            trigger = IsAPair(concept, instance)
+            counts = {}
+            for record in self.records_triggered_by(trigger):
+                for other in record.instances:
+                    if other != instance:
+                        counts[other] = counts.get(other, 0) + 1
+            by_instance[instance] = counts
+        # The memoised dict is handed out directly; treat it as read-only.
         return counts
 
     def frequency_distribution(self, concept: str) -> dict[str, int]:
         """Evidence counts for every alive instance under a concept."""
         return {
-            pair.instance: state.count
-            for pair, state in self._pairs.items()
-            if pair.concept == concept
+            instance: state.count
+            for instance, state in self._by_concept.get(concept, {}).items()
         }
 
     def core_frequency_distribution(self, concept: str) -> dict[str, int]:
         """Iteration-1 evidence counts for core instances of a concept."""
-        result: dict[str, int] = {}
-        for pair, state in self._pairs.items():
-            if pair.concept != concept or state.first_iteration != 1:
-                continue
-            core = self.core_count(pair)
-            if core > 0:
-                result[pair.instance] = core
-        return result
+        counts = self.core_counts(concept)
+        return {
+            instance: counts[instance]
+            for instance, state in self._by_concept.get(concept, {}).items()
+            if state.first_iteration == 1 and counts[instance] > 0
+        }
 
     # ------------------------------------------------------------------
     # Primitive mutation (used by the rollback engine)
@@ -253,9 +442,12 @@ class KnowledgeBase:
         del self._pairs[pair]
         self._drop_indexes(pair)
         self._removed_pairs.add(pair)
+        self._touch(pair.concept)
 
     def _drop_indexes(self, pair: IsAPair) -> None:
-        self._known[pair.concept].discard(pair.instance)
+        by_concept = self._by_concept.get(pair.concept)
+        if by_concept is not None:
+            by_concept.pop(pair.instance, None)
         concepts = self._instance_concepts.get(pair.instance)
         if concepts is not None:
             concepts.discard(pair.concept)
@@ -273,6 +465,7 @@ class KnowledgeBase:
         if not record.active:
             raise KnowledgeBaseError(f"record {rid} is already inactive")
         record.active = False
+        self._active_flags[rid] = False
         died: list[IsAPair] = []
         for pair in record.produced:
             state = self._pairs.get(pair)
@@ -284,6 +477,7 @@ class KnowledgeBase:
                 self._drop_indexes(pair)
                 self._removed_pairs.add(pair)
                 died.append(pair)
+        self._touch(record.concept)
         return died
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -47,30 +47,35 @@ class EvidenceIndex:
         cached = self._correct_cache.get(concept)
         if cached is not None:
             return cached
-        names = set()
-        for instance in self._kb.instances_of(concept):
-            if self.is_evidenced_correct(concept, instance):
-                names.add(instance)
+        threshold = self._config.evidence_threshold_k
+        counts = self._kb.core_counts(concept)
+        names = {
+            instance
+            for instance in self._kb.instances_of(concept)
+            if counts.get(instance, 0) > threshold
+            or IsAPair(concept, instance) in self._verified
+        }
         result = frozenset(names)
         self._correct_cache[concept] = result
         return result
 
     def is_evidenced_correct(self, concept: str, instance: str) -> bool:
         """Verified source, or frequent (> k sentences) in iteration 1."""
-        pair = IsAPair(concept, instance)
-        if pair in self._verified:
+        if instance in self.evidenced_correct(concept):
             return True
-        return self._kb.core_count(pair) > self._config.evidence_threshold_k
+        if not self._verified:
+            return False
+        # Verified pairs count even when not (or no longer) in the KB.
+        return IsAPair(concept, instance) in self._verified
 
     def is_evidenced_incorrect(self, concept: str, instance: str) -> bool:
         """One late, accidental extraction of another exclusive concept's
         evidenced instance."""
-        pair = IsAPair(concept, instance)
-        if pair not in self._kb:
+        stats = self._kb.instance_stats(concept, instance)
+        if stats is None:
             return False
-        if self._kb.count(pair) != 1:
-            return False
-        if self._kb.first_iteration(pair) <= 1:
+        count, first_iteration = stats
+        if count != 1 or first_iteration <= 1:
             return False
         for other in self._kb.concepts_with_instance(instance):
             if other == concept:

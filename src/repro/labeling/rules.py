@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..concepts.exclusion import MutualExclusionIndex
-from ..kb.pair import IsAPair
 from ..kb.store import KnowledgeBase
 from .evidence import EvidenceIndex
 from .labels import DPLabel, SeedLabel
@@ -131,20 +130,24 @@ class SeedLabeler:
     def _subs_hit_exclusive_concept(
         self, concept: str, subs: dict[str, int]
     ) -> bool:
+        evidence = self._evidence
+        kb = self._kb
+        core = kb.core_counts(concept)
+        exclusive = self._exclusion.exclusive
         for sub in subs:
             # A sub-instance only incriminates its trigger if the sub does
             # not itself look like a member of the target concept: a benign
             # trigger may legitimately co-occur with a polysemous bridge
             # (dog triggering chicken must not make dog an Intentional DP).
-            if self._evidence.is_evidenced_correct(concept, sub):
+            if evidence.is_evidenced_correct(concept, sub):
                 continue
-            if self._kb.core_count(IsAPair(concept, sub)) > 0:
+            if core.get(sub, 0) > 0:
                 continue
-            for other in self._kb.concepts_with_instance(sub):
+            for other in kb.concepts_with_instance(sub):
                 if other == concept:
                     continue
-                if not self._exclusion.exclusive(concept, other):
+                if not exclusive(concept, other):
                     continue
-                if self._evidence.is_evidenced_correct(other, sub):
+                if evidence.is_evidenced_correct(other, sub):
                     return True
         return False

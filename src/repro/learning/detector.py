@@ -203,6 +203,8 @@ class DPDetector:
             sample_size=self._config.kpca_sample_size,
             seed=self._rng,
         )
+        # Projection stays per concept: the blocks fit in cache, whereas a
+        # pooled kernel-matrix transform thrashes on its own temporaries.
         self._transformed = {
             concept: self._kpca.transform(
                 (matrix.x - self._feature_mean) / self._feature_std

@@ -14,6 +14,7 @@ feature space; a shared basis is the consistent reading.
 from __future__ import annotations
 
 import numpy as np
+from scipy import linalg as scipy_linalg
 
 from ..errors import LearningError, NotFittedError
 from ..rng import generator_from
@@ -64,10 +65,14 @@ class KernelPCA:
             - self._column_means[:, None]
             + self._total_mean
         )
-        eigenvalues, eigenvectors = np.linalg.eigh(centred)
-        order = np.argsort(eigenvalues)[::-1]
-        eigenvalues = eigenvalues[order]
-        eigenvectors = eigenvectors[:, order]
+        # Only the top ``n_components`` eigenpairs are ever kept, so ask
+        # LAPACK for just that slice instead of the full spectrum.
+        low = max(0, n - self._n_components)
+        eigenvalues, eigenvectors = scipy_linalg.eigh(
+            centred, subset_by_index=(low, n - 1)
+        )
+        eigenvalues = eigenvalues[::-1]
+        eigenvectors = eigenvectors[:, ::-1]
         keep = min(self._n_components, int((eigenvalues > 1e-10).sum()))
         if keep < 1:
             raise LearningError("kernel matrix has no positive eigenvalues")

@@ -58,15 +58,33 @@ def manifold_matrix(
     """``A = Xᵀ (Σᵢ Sᵢ Lᵢ Sᵢᵀ) X`` in row convention (r × r).
 
     ``x`` holds one concept's transformed instances as rows (n × r).
+
+    All neighbourhoods share the block shape ``(m, r)``, so the ``n``
+    local Laplacians are computed as one batched solve instead of ``n``
+    independent ones; with ``H X̃ᵢ`` being the column-centred block, the
+    per-neighbourhood algebra of :func:`local_laplacian` becomes
+
+        Lᵢ = H − (H X̃ᵢ) (X̃ᵢᵀ H X̃ᵢ + λI)⁻¹ (H X̃ᵢ)ᵀ.
     """
     n, r = x.shape
     if n == 0:
         return np.zeros((r, r))
     neighbours = knn_indices(x, k_neighbors)
-    m = np.zeros((n, n))
-    for i in range(n):
-        idx = neighbours[i]
-        block = x[idx]
-        laplacian = local_laplacian(block, local_reg)
-        m[np.ix_(idx, idx)] += laplacian
-    return x.T @ m @ x
+    blocks = x[neighbours]  # (n, m, r)
+    m_size = neighbours.shape[1]
+    # Push-through identity: H B (Bᵀ H B + λI)⁻¹ Bᵀ H =
+    # (H B Bᵀ + λI)⁻¹ (H B Bᵀ H), so the batched solve shrinks from the
+    # feature dimension r × r to the (smaller) neighbourhood size m × m.
+    bbt = np.matmul(blocks, np.transpose(blocks, (0, 2, 1)))  # (n, m, m)
+    hbbt = bbt - bbt.mean(axis=1, keepdims=True)  # H B Bᵀ
+    hbbth = hbbt - hbbt.mean(axis=2, keepdims=True)  # H B Bᵀ H
+    h = np.eye(m_size) - np.full((m_size, m_size), 1.0 / m_size)
+    laplacians = h - np.linalg.solve(
+        hbbt + local_reg * np.eye(m_size), hbbth
+    )
+    laplacians = 0.5 * (laplacians + np.transpose(laplacians, (0, 2, 1)))
+    # With Sᵢ the neighbourhood selector, Xᵀ Sᵢ is just blocksᵢᵀ, so the
+    # quadratic form contracts neighbourhood-by-neighbourhood without ever
+    # materialising the n × n scatter matrix Σᵢ Sᵢ Lᵢ Sᵢᵀ.
+    partial = np.matmul(np.transpose(blocks, (0, 2, 1)), laplacians)
+    return np.matmul(partial, blocks).sum(axis=0)

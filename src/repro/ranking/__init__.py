@@ -2,9 +2,13 @@
 
 from .base import RANKERS, Ranker, get_ranker, register_ranker
 from .frequency import FrequencyRanker
-from .graph import ConceptGraph, build_concept_graph
+from .graph import ConceptGraph, build_concept_graph, build_concept_graphs
 from .pagerank import PageRankRanker
-from .random_walk import RandomWalkRanker, random_walk_scores
+from .random_walk import (
+    RandomWalkRanker,
+    random_walk_scores,
+    random_walk_scores_dense,
+)
 
 __all__ = [
     "ConceptGraph",
@@ -14,7 +18,9 @@ __all__ = [
     "RandomWalkRanker",
     "Ranker",
     "build_concept_graph",
+    "build_concept_graphs",
     "get_ranker",
     "random_walk_scores",
+    "random_walk_scores_dense",
     "register_ranker",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from abc import ABC, abstractmethod
 
 from ..errors import RankingError
@@ -15,20 +16,65 @@ class Ranker(ABC):
 
     Scores are comparable within a concept; all three paper models
     normalise to a probability distribution over the concept's instances.
+
+    :meth:`score_all` keeps a **mutation-versioned cache**: per knowledge
+    base (weakly referenced) it remembers each concept's scores together
+    with the KB's :meth:`~repro.kb.store.KnowledgeBase.concept_version` at
+    scoring time, and re-scores only the concepts mutated since.  All
+    ranking models are per-concept local — a concept's scores depend only
+    on that concept's pairs and records — which is what makes the
+    per-concept dirty tracking sound.  Set ``cache_scores = False`` on an
+    instance to disable reuse.
     """
 
     name: str = "abstract"
+
+    #: class-level default; instances may override (e.g. via a constructor
+    #: ``cache=`` parameter).
+    cache_scores: bool = True
 
     @abstractmethod
     def score(self, kb: KnowledgeBase, concept: str) -> dict[str, float]:
         """Score every alive instance of ``concept``."""
 
+    def _score_batch(
+        self, kb: KnowledgeBase, concepts: list[str]
+    ) -> dict[str, dict[str, float]]:
+        """Score a batch of concepts (hook for single-pass implementations)."""
+        return {concept: self.score(kb, concept) for concept in concepts}
+
     def score_all(
         self, kb: KnowledgeBase, concepts: list[str] | None = None
     ) -> dict[str, dict[str, float]]:
-        """Score several concepts (all KB concepts by default)."""
-        names = concepts if concepts is not None else kb.concepts()
-        return {concept: self.score(kb, concept) for concept in names}
+        """Score several concepts (all KB concepts by default).
+
+        With caching enabled (the default), only concepts the KB reports as
+        mutated since their last scoring are recomputed.
+        """
+        names = list(concepts) if concepts is not None else kb.concepts()
+        if not self.cache_scores:
+            return self._score_batch(kb, names)
+        caches = self.__dict__.get("_score_caches")
+        if caches is None:
+            caches = weakref.WeakKeyDictionary()
+            self.__dict__["_score_caches"] = caches
+        cache = caches.get(kb)
+        if cache is None:
+            cache = {}
+            caches[kb] = cache
+        stale = []
+        versions = {}
+        for concept in names:
+            version = kb.concept_version(concept)
+            entry = cache.get(concept)
+            if entry is None or entry[0] != version:
+                stale.append(concept)
+                versions[concept] = version
+        if stale:
+            fresh = self._score_batch(kb, stale)
+            for concept in stale:
+                cache[concept] = (versions[concept], fresh[concept])
+        return {concept: cache[concept][1] for concept in names}
 
 
 RANKERS: dict[str, type[Ranker]] = {}

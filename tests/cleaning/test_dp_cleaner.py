@@ -124,3 +124,44 @@ class TestDPCleaner:
         )
         report = cleaner.clean(result.kb, result.corpus)
         assert report.rounds == 1
+
+
+class TestScoreCacheEquivalence:
+    """The mutation-versioned score cache must never change outcomes."""
+
+    def _run(self, use_cache: bool):
+        result = SemanticIterativeExtractor().run(_corpus())
+        cleaner = DPCleaner(
+            _oracle_detect, CleaningConfig(), use_cache=use_cache
+        )
+        report = cleaner.clean(result.kb, result.corpus)
+        return result.kb, report
+
+    def test_cached_and_uncached_cleaning_identical(self):
+        kb_cached, report_cached = self._run(use_cache=True)
+        kb_uncached, report_uncached = self._run(use_cache=False)
+        assert report_cached.removed_pairs == report_uncached.removed_pairs
+        assert (
+            report_cached.records_rolled_back
+            == report_uncached.records_rolled_back
+        )
+        assert report_cached.rounds == report_uncached.rounds
+        assert set(kb_cached.pairs()) == set(kb_uncached.pairs())
+
+    def test_sentence_checks_bit_identical(self):
+        # Eq. 21 scores must match exactly, not just approximately: the
+        # cached path re-solves only touched concepts, so any kernel
+        # drift between batch sizes would surface here.
+        _, report_cached = self._run(use_cache=True)
+        _, report_uncached = self._run(use_cache=False)
+        checks_cached = [
+            check.scores
+            for stats in report_cached.details["rounds"]
+            for check in stats.sentence_checks
+        ]
+        checks_uncached = [
+            check.scores
+            for stats in report_uncached.details["rounds"]
+            for check in stats.sentence_checks
+        ]
+        assert checks_cached == checks_uncached

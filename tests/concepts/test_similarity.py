@@ -77,6 +77,25 @@ class TestCoreSimilarity:
         assert sum(counts) == 2  # animal-food, country-nation
         assert zero_pairs == 4
 
+    def test_histogram_pinned_on_known_kb(self):
+        # animal-food = 1/3 → first bin; country-nation = 2/3 → second;
+        # the remaining 4 of the C(4,2) = 6 pairs are zero-similarity.
+        sim = CoreSimilarity(_kb())
+        edges = [0.0, 0.25, 0.5, 0.75, 1.01]
+        counts, zero_pairs = sim.similarity_histogram(edges)
+        assert counts == [0, 1, 1, 0]
+        assert zero_pairs == 4
+
+    def test_histogram_edge_values_bin_left_inclusive(self):
+        # A value sitting exactly on an inner edge belongs to the bin it
+        # opens; values outside [first, last) are dropped.
+        sim = CoreSimilarity(_kb())
+        third = 1 / 3
+        counts, _ = sim.similarity_histogram([third, 2 / 3, 1.0])
+        assert counts == [1, 1]
+        counts, _ = sim.similarity_histogram([0.4, 0.6])
+        assert counts == [0]
+
     def test_bad_min_core_size(self):
         with pytest.raises(ValueError):
             CoreSimilarity(_kb(), min_core_size=0)

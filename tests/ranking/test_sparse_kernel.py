@@ -1,0 +1,123 @@
+"""Equivalence tests for the sparse RWR kernel (dense path as oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb import IsAPair, KnowledgeBase
+from repro.ranking import RandomWalkRanker
+from repro.ranking.graph import ConceptGraph
+from repro.ranking.random_walk import (
+    _random_walk_scores_union,
+    random_walk_scores,
+    random_walk_scores_dense,
+)
+
+
+@st.composite
+def trigger_graphs(draw):
+    """Random trigger graphs: arbitrary edges, core mass on a node subset."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    nodes = tuple(f"i{k}" for k in range(n))
+    edges: dict[int, dict[int, float]] = {}
+    for _ in range(draw(st.integers(min_value=0, max_value=2 * n))):
+        source = draw(st.integers(min_value=0, max_value=n - 1))
+        target = draw(st.integers(min_value=0, max_value=n - 1))
+        weight = draw(
+            st.floats(min_value=0.25, max_value=8.0, allow_nan=False)
+        )
+        edges.setdefault(source, {})[target] = weight
+    restart = [
+        float(draw(st.integers(min_value=0, max_value=3))) for _ in range(n)
+    ]
+    return ConceptGraph.from_edge_dict("concept", nodes, edges, restart)
+
+
+class TestSparseMatchesDense:
+    @given(trigger_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_sparse_within_1e9_of_dense_oracle(self, graph):
+        sparse_scores = random_walk_scores(graph)
+        dense_scores = random_walk_scores_dense(graph)
+        assert set(sparse_scores) == set(dense_scores)
+        for name, value in sparse_scores.items():
+            assert abs(value - dense_scores[name]) <= 1e-9
+
+    @given(trigger_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_union_solo_matches_sparse(self, graph):
+        (solo,) = _random_walk_scores_union(
+            [graph], restart_probability=0.15, max_iterations=100,
+            tolerance=1e-12,
+        )
+        reference = random_walk_scores(graph)
+        for name, value in solo.items():
+            assert abs(value - reference[name]) <= 1e-9
+
+    @given(st.lists(trigger_graphs(), min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_solve_is_blockwise_exact(self, graphs):
+        # A graph solved inside any batch must be *bit-identical* to the
+        # same graph solved alone — the score cache depends on it.
+        batch = _random_walk_scores_union(
+            graphs, restart_probability=0.15, max_iterations=100,
+            tolerance=1e-12,
+        )
+        for graph, scores in zip(graphs, batch):
+            (solo,) = _random_walk_scores_union(
+                [graph], restart_probability=0.15, max_iterations=100,
+                tolerance=1e-12,
+            )
+            assert scores == solo
+
+
+def _many_concept_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    for c in range(6):
+        concept = f"concept{c}"
+        core = tuple(f"c{c}_core{i}" for i in range(3))
+        kb.add_extraction(c * 10, concept, core, iteration=1)
+        trigger = IsAPair(concept, core[0])
+        kb.add_extraction(
+            c * 10 + 1, concept, (f"c{c}_drift", core[0]),
+            triggers=(trigger,), iteration=2,
+        )
+    return kb
+
+
+class TestWorkersFanOut:
+    def test_worker_results_match_serial(self):
+        kb = _many_concept_kb()
+        serial = RandomWalkRanker(workers=1).score_all(kb)
+        fanned = RandomWalkRanker(workers=3).score_all(kb)
+        assert serial == fanned
+
+    def test_bad_workers(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomWalkRanker(workers=0)
+
+
+class TestScoreCache:
+    def test_untouched_concepts_reuse_cached_scores(self):
+        kb = _many_concept_kb()
+        ranker = RandomWalkRanker(cache=True)
+        first = ranker.score_all(kb)
+        kb.remove_pair(IsAPair("concept0", "c0_drift"))
+        second = ranker.score_all(kb)
+        # concept0 was touched: recomputed (and the drift node is gone).
+        assert "c0_drift" not in second["concept0"]
+        # every other concept's table is the cached object itself
+        for c in range(1, 6):
+            assert second[f"concept{c}"] is first[f"concept{c}"]
+
+    def test_cache_disabled_recomputes_identically(self):
+        kb = _many_concept_kb()
+        cached = RandomWalkRanker(cache=True)
+        uncached = RandomWalkRanker(cache=False)
+        assert cached.score_all(kb) == uncached.score_all(kb)
+        kb.remove_pair(IsAPair("concept3", "c3_drift"))
+        assert cached.score_all(kb) == uncached.score_all(kb)
