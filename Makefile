@@ -4,7 +4,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 DATE   := $(shell date +%Y-%m-%d)
 
-.PHONY: test bench bench-substrates
+.PHONY: test bench bench-substrates bench-compare
 
 test:
 	$(PYTEST) -x -q
@@ -18,3 +18,8 @@ bench:
 bench-substrates:
 	$(PYTEST) benchmarks/test_bench_substrates.py --benchmark-only \
 		--benchmark-json=BENCH_$(DATE).json
+
+# Re-run the benchmarks and fail if anything regressed more than 1.5x
+# against the latest committed BENCH_*.json.
+bench-compare:
+	PYTHONPATH=src python scripts/bench_compare.py

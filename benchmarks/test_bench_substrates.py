@@ -14,7 +14,7 @@ from repro.concepts import MutualExclusionIndex
 from repro.config import CleaningConfig
 from repro.corpus import CorpusGenerator
 from repro.extraction import SemanticIterativeExtractor
-from repro.kb import RollbackEngine
+from repro.kb import IsAPair, RollbackEngine
 from repro.labeling import DPLabel
 from repro.ranking import RandomWalkRanker
 
@@ -86,6 +86,33 @@ def test_bench_rollback_cascade(benchmark):
 
     removed = run_once(benchmark, rollback_all)
     assert removed > 0
+
+
+def test_bench_detect_refit(benchmark):
+    """One warm detection refit after a rollback wave.
+
+    This is the cleaning loop's per-round step: the cold fit primes the
+    analysis cache (exclusion index, matrices, seeds, KPCA embedding),
+    a rollback wave dirties a slice of the KB, and the timed call refits
+    the detector incrementally on the mutated KB.
+    """
+    pipeline = make_pipeline()
+    extraction = pipeline.extract()
+    kb = extraction.kb
+    detect = pipeline.detect_fn()
+    labels = detect(kb)  # cold fit outside the timer
+    accidental = [
+        IsAPair(concept, instance)
+        for concept, by_instance in labels.items()
+        for instance, label in by_instance.items()
+        if label is DPLabel.ACCIDENTAL
+    ][:120]
+    engine = RollbackEngine(kb)
+    for pair in accidental:
+        if pair in kb:
+            engine.rollback_pair(pair)
+    labels = run_once(benchmark, detect, kb)
+    assert labels
 
 
 def test_bench_dp_cleaning_round(benchmark):

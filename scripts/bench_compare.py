@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark run against the latest committed BENCH file.
+
+Runs the benchmark suite into a temporary JSON, pairs each benchmark with
+the same-named entry in the newest committed ``BENCH_*.json``, and fails
+(exit 1) when any benchmark's minimum time regressed by more than the
+threshold (default 1.5x).  New benchmarks with no committed counterpart
+are reported but never fail the run.
+
+Usage::
+
+    python scripts/bench_compare.py [--threshold 1.5] [pytest args...]
+
+Extra arguments are forwarded to pytest, so ``-k dp_cleaning`` compares a
+single benchmark.  Wall-clock noise on shared hosts is real; treat a
+failure as "re-run and investigate", not proof of a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def latest_committed_bench() -> tuple[str, str]:
+    """Name and content of the newest BENCH_*.json in git's HEAD.
+
+    Read from the repository, not the working tree: ``make bench``
+    overwrites same-day files in place, and the point is to compare
+    against what was committed.
+    """
+    listing = subprocess.run(
+        ["git", "ls-tree", "--name-only", "HEAD", "--", "BENCH_*.json"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    names = sorted(line for line in listing.stdout.splitlines() if line)
+    if not names:
+        raise SystemExit("no committed BENCH_*.json to compare against")
+    blob = subprocess.run(
+        ["git", "show", f"HEAD:{names[-1]}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return names[-1], blob.stdout
+
+
+def min_times(text: str) -> dict[str, float]:
+    """benchmark name -> minimum time in seconds."""
+    data = json.loads(text)
+    return {
+        entry["name"]: entry["stats"]["min"]
+        for entry in data.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="fail when new_min/old_min exceeds this (default: 1.5)",
+    )
+    args, pytest_args = parser.parse_known_args(argv)
+
+    baseline_name, baseline_text = latest_committed_bench()
+    baseline = min_times(baseline_text)
+
+    with tempfile.NamedTemporaryFile(
+        suffix=".json", prefix="bench_compare_", delete=False
+    ) as handle:
+        fresh_path = Path(handle.name)
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/",
+        "--benchmark-only",
+        f"--benchmark-json={fresh_path}",
+        *pytest_args,
+    ]
+    print(f"baseline: {baseline_name} (HEAD)")
+    print("running:", " ".join(command), flush=True)
+    run = subprocess.run(command, cwd=REPO_ROOT)
+    if run.returncode != 0:
+        print("benchmark run failed; nothing to compare", file=sys.stderr)
+        return run.returncode
+    fresh = min_times(fresh_path.read_text())
+
+    regressions: list[str] = []
+    width = max((len(name) for name in fresh), default=0)
+    for name in sorted(fresh):
+        new_min = fresh[name]
+        old_min = baseline.get(name)
+        if old_min is None:
+            print(f"{name:<{width}}  {new_min * 1e3:9.1f} ms  (new benchmark)")
+            continue
+        ratio = new_min / old_min if old_min else float("inf")
+        flag = "REGRESSION" if ratio > args.threshold else "ok"
+        print(
+            f"{name:<{width}}  {old_min * 1e3:9.1f} ms -> "
+            f"{new_min * 1e3:9.1f} ms  ({ratio:5.2f}x)  {flag}"
+        )
+        if ratio > args.threshold:
+            regressions.append(name)
+    for name in sorted(set(baseline) - set(fresh)):
+        print(f"{name:<{width}}  (not run this time)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) slower than "
+            f"{args.threshold}x baseline: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

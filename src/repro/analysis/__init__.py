@@ -1,0 +1,5 @@
+"""Versioned analysis cache for incremental detection refits."""
+
+from .cache import AnalysisCache
+
+__all__ = ["AnalysisCache"]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Mapping
+from operator import attrgetter
 
 from ..concepts.exclusion import MutualExclusionIndex
 from ..config import CleaningConfig
@@ -29,12 +30,16 @@ from ..kb.store import KnowledgeBase
 from ..labeling.labels import DPLabel
 from ..ranking.random_walk import RandomWalkRanker
 from .base import BaseCleaner, CleaningResult
-from .intentional import SentenceCheck, check_extraction
+from .intentional import SentenceCheck, build_check, score_sentence
 
 __all__ = ["DPCleaner", "RoundStats", "DetectFn"]
 
 #: concept → instance → label for the current knowledge base.
 DetectFn = Callable[[KnowledgeBase], Mapping[str, Mapping[str, DPLabel]]]
+
+#: Sort key matching IsAPair's natural (concept, instance) ordering
+#: without paying per-comparison tuple construction in the hot loops.
+_PAIR_KEY = attrgetter("concept", "instance")
 
 
 @dataclass
@@ -72,10 +77,22 @@ class DPCleaner(BaseCleaner):
         if ranker is None and use_cache:
             ranker = getattr(detect_fn, "ranker", None)
         self._ranker = ranker or RandomWalkRanker(cache=use_cache)
+        self._use_cache = use_cache
+        # Eq. 21 sentence scorings carried across rounds: keyed by sid,
+        # valid while every candidate concept's KB version is unchanged
+        # (the ranker's versioned cache then guarantees identical score
+        # rows, so the recomputation would be bit-identical).  Entries are
+        # ``(candidate concepts, their versions at scoring, scores)``;
+        # stale entries are pruned in one pass per round so the check loop
+        # hits the memo with a plain dict get.
+        self._check_memo: dict[
+            int, tuple[tuple[str, ...], tuple[int, ...], dict[str, float]]
+        ] = {}
 
     def clean(self, kb: KnowledgeBase, corpus: Corpus) -> CleaningResult:
         before = kb.removed_pairs()
         by_sid = corpus.by_sid()
+        self._check_memo = {}
         engine = RollbackEngine(kb)
         rounds: list[RoundStats] = []
         total_rolled = 0
@@ -108,19 +125,29 @@ class DPCleaner(BaseCleaner):
         detections = self._detect_fn(kb)
         intentional: list[IsAPair] = []
         accidental: list[IsAPair] = []
+        acc_label = DPLabel.ACCIDENTAL
+        int_label = DPLabel.INTENTIONAL
         for concept, labels in detections.items():
+            alive = kb.instance_view(concept)
             for instance, label in labels.items():
-                if not kb.has_instance(concept, instance):
-                    continue
-                if label is DPLabel.ACCIDENTAL:
-                    accidental.append(IsAPair(concept, instance))
-                elif label is DPLabel.INTENTIONAL:
-                    intentional.append(IsAPair(concept, instance))
+                if label is acc_label:
+                    if instance in alive:
+                        accidental.append(IsAPair(concept, instance))
+                elif label is int_label:
+                    if instance in alive:
+                        intentional.append(IsAPair(concept, instance))
         stats.accidental_dps = len(accidental)
         stats.intentional_dps = len(intentional)
 
         # Scores for Eq. 21 checks and for the weaker-side test below.
-        exclusion = MutualExclusionIndex(kb)
+        # The detection callback may publish the exclusion index it just
+        # built/refreshed over this very KB (see Pipeline.detect_fn);
+        # reusing it skips a full similarity-index rebuild per round.
+        exclusion = None
+        if self._use_cache:
+            exclusion = getattr(self._detect_fn, "exclusion_index", None)
+        if exclusion is None:
+            exclusion = MutualExclusionIndex(kb)
         relevant = {pair.concept for pair in intentional}
         relevant.update(pair.concept for pair in accidental)
         for pair in accidental:
@@ -144,7 +171,7 @@ class DPCleaner(BaseCleaner):
         # Definition 4 — it is an instance of *another* class accidentally
         # extracted here, so it must appear under a mutually exclusive
         # concept.
-        for pair in sorted(accidental):
+        for pair in sorted(accidental, key=_PAIR_KEY):
             if pair not in kb:
                 continue  # removed by an earlier cascade this round
             well_evidenced = kb.count(pair) > self._config.accidental_max_count
@@ -175,7 +202,7 @@ class DPCleaner(BaseCleaner):
         # rollbacks above changed the graph, so re-rank now.
         checkable: list[tuple[IsAPair, int]] = []
         candidate_concepts: set[str] = set()
-        for pair in sorted(intentional):
+        for pair in sorted(intentional, key=_PAIR_KEY):
             if pair not in kb:
                 continue
             for record in kb.records_triggered_by(pair):
@@ -185,12 +212,32 @@ class DPCleaner(BaseCleaner):
                 checkable.append((pair, record.rid))
                 candidate_concepts.update(sentence.concepts)
         check_scores = self._ranker.score_all(kb, sorted(candidate_concepts))
+        # The KB is stable until the rollback below, so concept versions
+        # are round constants: prune stale memo entries once up front and
+        # the check loop hits the memo with a plain dict get.
+        memo = self._check_memo
+        use_memo = self._use_cache
+        versions: dict[str, int] = {}
+        if use_memo and memo:
+            concept_version = kb.concept_version
+            for sid in list(memo):
+                names, stamped, _ = memo[sid]
+                for name, stamp in zip(names, stamped):
+                    current = versions.get(name)
+                    if current is None:
+                        current = concept_version(name)
+                        versions[name] = current
+                    if current != stamp:
+                        del memo[sid]
+                        break
         to_roll: list[int] = []
         seen_records: set[int] = set()
         # Several DPs can trigger records of the same sentence; Eq. 21
-        # only depends on (sentence, chosen concept, scores), so the
-        # verdict is shared and just restamped with the trigger at hand.
+        # scores a sentence once for all its candidate concepts, so both
+        # the scoring (per sid) and the verdict (per sid + chosen
+        # concept) are shared, restamped with the trigger at hand.
         checked: dict[tuple[int, str], SentenceCheck] = {}
+        round_scores: dict[int, dict[str, float]] = {}
         for pair, rid in checkable:
             if rid in seen_records:
                 continue
@@ -201,11 +248,30 @@ class DPCleaner(BaseCleaner):
             key = (record.sid, record.concept)
             check = checked.get(key)
             if check is None:
-                check = check_extraction(
-                    by_sid[record.sid],
-                    record.concept,
-                    pair.instance,
-                    check_scores,
+                sid = record.sid
+                concept_scores = round_scores.get(sid)
+                if concept_scores is None:
+                    entry = memo.get(sid) if use_memo else None
+                    if entry is not None:
+                        concept_scores = entry[2]
+                    else:
+                        sentence = by_sid[sid]
+                        concept_scores = score_sentence(sentence, check_scores)
+                        if use_memo:
+                            names = sentence.concepts
+                            stamped = []
+                            for name in names:
+                                current = versions.get(name)
+                                if current is None:
+                                    current = kb.concept_version(name)
+                                    versions[name] = current
+                                stamped.append(current)
+                            memo[sid] = (
+                                names, tuple(stamped), concept_scores
+                            )
+                    round_scores[sid] = concept_scores
+                check = build_check(
+                    sid, concept_scores, record.concept, pair.instance
                 )
                 checked[key] = check
             elif check.trigger_instance != pair.instance:

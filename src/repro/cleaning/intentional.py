@@ -20,7 +20,7 @@ from collections.abc import Mapping
 
 from ..corpus.sentence import Sentence
 
-__all__ = ["SentenceCheck", "score_sentence", "check_extraction"]
+__all__ = ["SentenceCheck", "score_sentence", "build_check", "check_extraction"]
 
 
 @dataclass(frozen=True)
@@ -39,17 +39,59 @@ def score_sentence(
     scores: Mapping[str, Mapping[str, float]],
 ) -> dict[str, float]:
     """Eq. 21 for every candidate concept of a sentence."""
-    result: dict[str, float] = {concept: 0.0 for concept in sentence.concepts}
-    rows = [(concept, scores.get(concept, {})) for concept in sentence.concepts]
+    concepts = sentence.concepts
+    empty: dict[str, float] = {}
+    if len(concepts) == 2:
+        # Same float-op order as the generic path below, specialised for
+        # the overwhelmingly common two-candidate sentence.
+        first = scores.get(concepts[0], empty).get
+        second = scores.get(concepts[1], empty).get
+        total_a = 0.0
+        total_b = 0.0
+        for instance in sentence.instances:
+            value_a = first(instance, 0.0)
+            value_b = second(instance, 0.0)
+            denominator = value_a + value_b
+            if denominator <= 0:
+                continue
+            total_a += value_a / denominator
+            total_b += value_b / denominator
+        return {concepts[0]: total_a, concepts[1]: total_b}
+    rows = [scores.get(concept, empty) for concept in concepts]
+    totals = [0.0] * len(rows)
     for instance in sentence.instances:
+        values = [row.get(instance, 0.0) for row in rows]
         denominator = 0.0
-        for _, row in rows:
-            denominator += row.get(instance, 0.0)
+        for value in values:
+            denominator += value
         if denominator <= 0:
             continue
-        for concept, row in rows:
-            result[concept] += row.get(instance, 0.0) / denominator
-    return result
+        for i, value in enumerate(values):
+            totals[i] += value / denominator
+    return dict(zip(concepts, totals))
+
+
+def build_check(
+    sid: int,
+    concept_scores: Mapping[str, float],
+    chosen_concept: str,
+    trigger_instance: str,
+) -> SentenceCheck:
+    """Assemble the verdict from an already-scored sentence.
+
+    Eq. 21 scores a sentence once for *all* its candidate concepts;
+    callers checking several extractions of the same sentence share the
+    scoring and derive each verdict here.
+    """
+    best = max(concept_scores.values(), default=0.0)
+    chosen = concept_scores.get(chosen_concept, 0.0)
+    return SentenceCheck(
+        sid=sid,
+        chosen_concept=chosen_concept,
+        trigger_instance=trigger_instance,
+        scores=tuple(sorted(concept_scores.items())),
+        is_drifting=chosen < best,
+    )
 
 
 def check_extraction(
@@ -59,13 +101,9 @@ def check_extraction(
     scores: Mapping[str, Mapping[str, float]],
 ) -> SentenceCheck:
     """Decide whether a DP-triggered extraction should roll back."""
-    concept_scores = score_sentence(sentence, scores)
-    best = max(concept_scores.values(), default=0.0)
-    chosen = concept_scores.get(chosen_concept, 0.0)
-    return SentenceCheck(
-        sid=sentence.sid,
-        chosen_concept=chosen_concept,
-        trigger_instance=trigger_instance,
-        scores=tuple(sorted(concept_scores.items())),
-        is_drifting=chosen < best,
+    return build_check(
+        sentence.sid,
+        score_sentence(sentence, scores),
+        chosen_concept,
+        trigger_instance,
     )

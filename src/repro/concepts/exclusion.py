@@ -40,16 +40,72 @@ class MutualExclusionIndex:
         )
         self._groups: dict[str, frozenset[str]] = {}
         for concept in self._similarity.concepts:
-            similar = {
-                other
-                for other, value in self._similarity.overlapping(concept).items()
-                if value > self._config.similar_threshold
-            }
-            similar.add(concept)
-            self._groups[concept] = frozenset(similar)
+            self._groups[concept] = self._compute_group(concept)
         # Pairwise exclusivity memo; sound because the similarity snapshot
-        # is fixed at construction.
+        # is fixed between refreshes, and refresh() drops every entry a
+        # core change could have flipped.
         self._exclusive_cache: dict[tuple[str, str], bool] = {}
+        # Monotonic per-concept stamp bumped whenever a refresh may have
+        # changed any relation (similarity row, group, exclusivity)
+        # involving the concept.  Downstream caches key on it.
+        self._epoch = 0
+        self._relations_version: dict[str, int] = {}
+
+    def _compute_group(self, concept: str) -> frozenset[str]:
+        similar = {
+            other
+            for other, value in self._similarity.overlapping(concept).items()
+            if value > self._config.similar_threshold
+        }
+        similar.add(concept)
+        return frozenset(similar)
+
+    def relations_version(self, concept: str) -> int:
+        """Epoch at which the concept's relations last changed (0 = never)."""
+        return self._relations_version.get(concept, 0)
+
+    @property
+    def epoch(self) -> int:
+        """Global refresh epoch (bumps whenever any relation may change)."""
+        return self._epoch
+
+    def refresh(self) -> frozenset[str]:
+        """Incrementally re-sync with the KB; return the affected closure.
+
+        Similarity rows are refreshed first; groups are recomputed only
+        for concepts whose rows changed, and the exclusivity memo drops
+        every pair touching the *closure* — affected rows plus any
+        concept whose group contains an affected member (exclusivity
+        propagates through groups, so those verdicts may flip too).
+        ``exclusive(a, b)`` can change only if ``a`` or ``b`` is in the
+        returned closure; each closure member's
+        :meth:`relations_version` is bumped.
+        """
+        affected = self._similarity.refresh()
+        if not affected:
+            return frozenset()
+        closure = set(affected)
+        for concept, group in self._groups.items():
+            if group & affected:
+                closure.add(concept)
+        concepts_now = self._similarity.concepts
+        for concept in affected:
+            if concept in concepts_now:
+                self._groups[concept] = self._compute_group(concept)
+            else:
+                self._groups.pop(concept, None)
+        if self._exclusive_cache:
+            dead = [
+                key
+                for key in self._exclusive_cache
+                if key[0] in closure or key[1] in closure
+            ]
+            for key in dead:
+                del self._exclusive_cache[key]
+        self._epoch += 1
+        for concept in closure:
+            self._relations_version[concept] = self._epoch
+        return frozenset(closure)
 
     @property
     def similarity(self) -> CoreSimilarity:
@@ -112,7 +168,7 @@ class MutualExclusionIndex:
         """
         return frozenset(
             other
-            for other in kb.concepts_with_instance(instance)
+            for other in kb.iter_concepts_with_instance(instance)
             if other != concept and self.exclusive(concept, other)
         )
 
@@ -122,7 +178,7 @@ class MutualExclusionIndex:
         """``len(exclusive_concepts_containing(...))`` without the set."""
         exclusive = self.exclusive
         count = 0
-        for other in kb.concepts_with_instance(instance):
+        for other in kb.iter_concepts_with_instance(instance):
             if other != concept and exclusive(concept, other):
                 count += 1
         return count

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from collections.abc import Mapping
 
+from ..analysis.cache import AnalysisCache
 from ..concepts.exclusion import MutualExclusionIndex
 from ..config import ConceptProfile, CorpusConfig, ExtractionConfig, PipelineConfig
 from ..corpus.corpus import Corpus
@@ -184,6 +185,12 @@ class Pipeline:
         # makes repeated score_all calls (analysis, per-round detection
         # refits during cleaning) re-rank only concepts the KB mutated.
         self._ranker = RandomWalkRanker()
+        # One analysis cache for every detection callback this pipeline
+        # hands out: per-concept matrices, seeds, verified samples and
+        # detector transforms survive across cleaning rounds and are
+        # invalidated by KB/relation version signatures (see
+        # repro.analysis.cache).
+        self._analysis = AnalysisCache(similarity=self._config.similarity)
 
     @property
     def preset(self) -> WorldPreset:
@@ -289,56 +296,117 @@ class Pipeline:
         self,
         detector_method: str = "multitask",
         non_dp_bias: float | None = None,
+        analysis_cache: bool = True,
+        warm_start: bool = False,
     ):
         """Detection callback for the DP cleaner: refit on the current KB.
 
         Cleaning runs the detector at a high-recall operating point
         (``cleaning_non_dp_bias``) because the cleaner's guards make false
         DP flags cheap while missed DPs leave whole cascades in place.
+
+        The returned callback freezes the embedding (standardisation +
+        KPCA basis) fitted on its first invocation and reuses it for
+        later rounds — in *both* cache modes, so toggling
+        ``analysis_cache`` never changes detections (the equivalence
+        tests pin this bit-exactly).  With ``analysis_cache=True`` (the
+        default) per-concept matrices, seeds, verified samples and
+        detector transforms are reused across rounds through the
+        pipeline's shared :class:`~repro.analysis.AnalysisCache`, and the
+        refreshed exclusion index is published as
+        ``detect.exclusion_index`` for the cleaner's guards.
+        ``warm_start=True`` additionally seeds each round's multi-task
+        optimisation from the previous round's weights — opt-in, as it
+        may change results within the finite iteration budget.
         """
         if non_dp_bias is None:
             non_dp_bias = self._config.cleaning.cleaning_non_dp_bias
         detector_config = replace(
             self._config.detector, non_dp_bias=non_dp_bias
         )
+        cache = self._analysis if analysis_cache else None
+        state: dict = {"embedding": None, "weights": None}
 
         def detect(kb: KnowledgeBase) -> dict[str, dict[str, DPLabel]]:
-            exclusion = MutualExclusionIndex(kb, self._config.similarity)
             concepts = self.analysis_concepts(kb)
+            if cache is not None:
+                exclusion = cache.exclusion(kb)
+            else:
+                exclusion = MutualExclusionIndex(kb, self._config.similarity)
             scores = self._ranker.score_all(kb, concepts)
             features = FeatureExtractor(kb, exclusion, scores)
-            matrices = {
-                concept: build_concept_matrix(features, concept)
-                for concept in concepts
-            }
-            verified = self._verified_sample(kb)
-            evidence = EvidenceIndex(
-                kb, exclusion, self._config.labeling, verified=verified
-            )
-            seeds = SeedLabeler(kb, exclusion, evidence).label_all(concepts)
+            if cache is not None:
+                matrices = cache.matrices(kb, concepts, features)
+                verified = cache.verified(
+                    kb, concepts, self._verified_concept
+                )
+                evidence = cache.evidence(
+                    kb, self._config.labeling, verified
+                )
+                seeds = cache.seeds(kb, concepts, evidence)
+            else:
+                matrices = {
+                    concept: build_concept_matrix(features, concept)
+                    for concept in concepts
+                }
+                verified = self._verified_sample(kb)
+                evidence = EvidenceIndex(
+                    kb, exclusion, self._config.labeling, verified=verified
+                )
+                seeds = SeedLabeler(kb, exclusion, evidence).label_all(
+                    concepts
+                )
             detector = DPDetector(
                 detector_config,
                 method=detector_method,
                 seed=self._streams.stream("detector"),
             )
-            detector.fit(matrices, seeds)
+            detector.fit(
+                matrices,
+                seeds,
+                embedding=state["embedding"],
+                refit_cache=(
+                    cache.refit_cache(kb) if cache is not None else None
+                ),
+                initial_weights=state["weights"] if warm_start else None,
+            )
+            state["embedding"] = detector.embedding
+            if warm_start:
+                state["weights"] = detector.concept_weights
+            detect.exclusion_index = exclusion
             return detector.predict_all()
 
         # Let the cleaner reuse this pipeline's ranker (and its score
         # cache) instead of re-solving the same concepts from scratch.
         detect.ranker = self._ranker
+        detect.analysis = cache
+        detect.exclusion_index = None
         return detect
 
-    def _verified_sample(self, kb: KnowledgeBase) -> frozenset[IsAPair]:
-        """Sample of true pairs standing in for Wikipedia-style sources."""
+    def _verified_concept(
+        self, kb: KnowledgeBase, concept: str
+    ) -> frozenset[IsAPair]:
+        """One concept's verified sample (own RNG substream).
+
+        The draw sequence depends only on the concept's own alive
+        instances, so a rollback elsewhere cannot shift it — which is
+        what lets the analysis cache key the sample on
+        ``concept_version(concept)`` alone.
+        """
         fraction = self._config.labeling.verified_fraction
         if fraction <= 0:
             return frozenset()
         world = self._preset.world
-        rng = self._streams.stream("verified")
-        verified = []
+        rng = self._streams.stream(f"verified:{concept}")
+        return frozenset(
+            IsAPair(concept, instance)
+            for instance in sorted(kb.instances_of(concept))
+            if world.is_member(concept, instance) and rng.random() < fraction
+        )
+
+    def _verified_sample(self, kb: KnowledgeBase) -> frozenset[IsAPair]:
+        """Sample of true pairs standing in for Wikipedia-style sources."""
+        verified: set[IsAPair] = set()
         for concept in self.analysis_concepts(kb):
-            for instance in sorted(kb.instances_of(concept)):
-                if world.is_member(concept, instance) and rng.random() < fraction:
-                    verified.append(IsAPair(concept, instance))
+            verified |= self._verified_concept(kb, concept)
         return frozenset(verified)

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping
 
+import numpy as np
+
 from ..concepts.exclusion import MutualExclusionIndex
 from ..kb.store import KnowledgeBase
 from .distribution import cosine_counts
@@ -139,6 +141,105 @@ class FeatureExtractor:
             self._extract(concept, instance, core, scores)
             for instance in sorted(self._kb.instances_of(concept))
         ]
+
+    def feature_matrix(
+        self, concept: str
+    ) -> tuple[tuple[str, ...], np.ndarray]:
+        """All features of a concept as ``(sorted instances, (n, 4) array)``.
+
+        The trigger/sub-instance aggregation (f1, f4) runs as array work
+        over the KB's append-only edge-code substrate instead of the
+        per-instance record walk — the dominant cost of building all
+        concept matrices per detection refit.  ``f2`` stays a Python loop
+        (it is a handful of memoised exclusivity lookups per instance)
+        and the Eq. 1 cosine mode falls back to the per-instance path.
+        """
+        names = self._kb.sorted_instances(concept)
+        if not names:
+            return names, np.zeros((0, 4), dtype=float)
+        if self._f1_mode == "cosine":
+            vectors = [
+                self._extract(
+                    concept,
+                    instance,
+                    self._core_frequency(concept),
+                    self._scores.get(concept, {}),
+                )
+                for instance in names
+            ]
+            return names, np.array(
+                [v.as_tuple() for v in vectors], dtype=float
+            )
+        kb = self._kb
+        scores = self._scores.get(concept, {})
+        core = self._core_frequency(concept)
+        ids = kb.instance_id_map(concept)
+        num_ids = len(ids)
+        # Per-id score and core-membership tables (ids cover removed
+        # instances too; their rows are simply never read back).
+        score_by_id = np.zeros(num_ids)
+        core_mask = np.zeros(num_ids)
+        for name, i in ids.items():
+            value = scores.get(name)
+            if value:
+                score_by_id[i] = value
+            if name in core:
+                core_mask[i] = 1.0
+        codes, rids = kb.edge_occurrences(concept)
+        total = np.zeros(num_ids)
+        on_core = np.zeros(num_ids)
+        distinct = np.zeros(num_ids)
+        score_sum = np.zeros(num_ids)
+        if codes:
+            codes_arr = np.asarray(codes, dtype=np.int64)
+            rids_arr = np.asarray(rids, dtype=np.int64)
+            codes_arr = codes_arr[kb.record_active_flags()[rids_arr]]
+            if codes_arr.size:
+                sources = codes_arr >> 32
+                targets = codes_arr & 0xFFFFFFFF
+                # f1: occurrence counts, split by core membership of the
+                # triggered sub-instance.
+                total = np.bincount(sources, minlength=num_ids).astype(float)
+                on_core = np.bincount(
+                    sources, weights=core_mask[targets], minlength=num_ids
+                )
+                # f4 averages over *distinct* sub-instances per trigger.
+                uniq = np.unique(codes_arr)
+                u_sources = uniq >> 32
+                distinct = np.bincount(
+                    u_sources, minlength=num_ids
+                ).astype(float)
+                score_sum = np.bincount(
+                    u_sources,
+                    weights=score_by_id[uniq & 0xFFFFFFFF],
+                    minlength=num_ids,
+                )
+        rows = np.fromiter(
+            (ids[name] for name in names), dtype=np.int64, count=len(names)
+        )
+        x = np.zeros((len(names), 4), dtype=float)
+        row_total = total[rows]
+        nonzero = row_total > 0
+        x[nonzero, 0] = on_core[rows][nonzero] / row_total[nonzero]
+        # f2 inverted: instead of walking each instance's claimant concepts
+        # (a python loop per instance × claimant), intersect the concept's
+        # instance set with each exclusive partner's at C speed.  The
+        # candidate partners are exactly the concepts sharing an instance,
+        # so the same exclusivity verdicts are consulted either way.
+        f2 = x[:, 1]
+        row_of = {name: i for i, name in enumerate(names)}
+        names_view = row_of.keys()
+        exclusive = self._exclusion.exclusive
+        for other in kb.concepts_sharing(names):
+            if other == concept or not exclusive(concept, other):
+                continue
+            for name in names_view & kb.instance_view(other):
+                f2[row_of[name]] += 1.0
+        x[:, 2] = score_by_id[rows]
+        row_distinct = distinct[rows]
+        nonzero = row_distinct > 0
+        x[nonzero, 3] = score_sum[rows][nonzero] / row_distinct[nonzero]
+        return names, x
 
     def _core_frequency(self, concept: str) -> dict[str, int]:
         cached = self._core_freq.get(concept)

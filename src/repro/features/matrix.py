@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
-from .extractor import FeatureExtractor, FeatureVector
+from .extractor import FeatureExtractor
 
 __all__ = ["ConceptMatrix", "build_concept_matrix"]
 
@@ -34,22 +35,19 @@ class ConceptMatrix:
         """Number of instances (rows)."""
         return len(self.instances)
 
+    @cached_property
+    def row_index(self) -> dict[str, int]:
+        """Name → row lookup, built once (``instances`` never changes)."""
+        return {name: i for i, name in enumerate(self.instances)}
+
     def row_of(self, instance: str) -> int:
         """Row index for an instance name."""
-        try:
-            return self.instances.index(instance)
-        except ValueError:
-            raise KeyError(instance) from None
+        return self.row_index[instance]
 
 
 def build_concept_matrix(
     extractor: FeatureExtractor, concept: str
 ) -> ConceptMatrix:
     """Extract all features of a concept into a matrix."""
-    vectors: list[FeatureVector] = extractor.extract_concept(concept)
-    instances = tuple(v.instance for v in vectors)
-    if vectors:
-        x = np.array([v.as_tuple() for v in vectors], dtype=float)
-    else:
-        x = np.zeros((0, 4), dtype=float)
+    instances, x = extractor.feature_matrix(concept)
     return ConceptMatrix(concept=concept, instances=instances, x=x)

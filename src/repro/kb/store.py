@@ -22,13 +22,15 @@ Design notes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable, Iterator
+from collections.abc import Collection, Iterable, Iterator
 
 import numpy as np
 
 from ..errors import KnowledgeBaseError
 from .pair import IsAPair
 from .record import ExtractionRecord
+
+_EMPTY_DICT: dict = {}
 
 __all__ = ["PairState", "KnowledgeBase"]
 
@@ -83,6 +85,10 @@ class KnowledgeBase:
         self._core_cache: dict[str, tuple[int, dict[str, int]]] = {}
         # concept → (version, core instance frozenset) memo.
         self._core_set_cache: dict[str, tuple[int, frozenset[str]]] = {}
+        # concept → (version, sorted instance tuple) memo.
+        self._sorted_cache: dict[str, tuple[int, tuple[str, ...]]] = {}
+        # concept → (version, singleton-late instance frozenset) memo.
+        self._late_cache: dict[str, tuple[int, frozenset[str]]] = {}
 
     # ------------------------------------------------------------------
     # Versioning
@@ -232,6 +238,57 @@ class KnowledgeBase:
         """All concepts an instance is currently (alive) extracted under."""
         return frozenset(self._instance_concepts.get(instance, ()))
 
+    def iter_concepts_with_instance(self, instance: str) -> Collection[str]:
+        """:meth:`concepts_with_instance` without the defensive copy.
+
+        Returns the live index entry — read it immediately, never hold it
+        across KB mutations.  The per-instance hot loops (f2 counting,
+        evidence rules) issue tens of thousands of these per detection
+        refit, where the frozenset copies dominate.
+        """
+        return self._instance_concepts.get(instance, ())
+
+    def instance_view(self, concept: str) -> Collection[str]:
+        """Live, set-operable view of a concept's alive instances.
+
+        A dict keys view: supports ``&``/``in`` at C speed without the
+        :meth:`instances_of` frozenset copy.  Read it immediately, never
+        hold it across KB mutations.
+        """
+        return self._by_concept.get(concept, _EMPTY_DICT).keys()
+
+    def sorted_instances(self, concept: str) -> tuple[str, ...]:
+        """Alive instances of a concept in sorted order (memoised).
+
+        Feature extraction and seed labelling both walk every concept's
+        instances in deterministic order once per refit; the memo is
+        invalidated by the concept version counter.
+        """
+        cached = self._sorted_cache.get(concept)
+        current = self.concept_version(concept)
+        if cached is None or cached[0] != current:
+            cached = (
+                current,
+                tuple(sorted(self._by_concept.get(concept, ()))),
+            )
+            self._sorted_cache[concept] = cached
+        return cached[1]
+
+    def concepts_sharing(self, instances: Iterable[str]) -> set[str]:
+        """Union of :meth:`concepts_with_instance` over many instances.
+
+        One pass without per-instance frozenset copies — the analysis
+        cache walks instance → concept reverse dependencies in bulk when
+        it computes invalidation signatures.
+        """
+        result: set[str] = set()
+        by_instance = self._instance_concepts
+        for instance in instances:
+            concepts = by_instance.get(instance)
+            if concepts:
+                result |= concepts
+        return result
+
     def core_instances(self, concept: str) -> frozenset[str]:
         """Instances first extracted in iteration 1 (the paper's Core(C))."""
         cached = self._core_set_cache.get(concept)
@@ -290,6 +347,29 @@ class KnowledgeBase:
                 counts[instance] = total
             cached = (current, counts)
             self._core_cache[concept] = cached
+        return cached[1]
+
+    def singleton_late_instances(self, concept: str) -> frozenset[str]:
+        """Alive instances extracted exactly once, after iteration 1.
+
+        The candidate set of the evidenced-incorrect rule (§3.2.2): any
+        other instance fails its count/first-iteration gate, so the seed
+        labeler consults this memo instead of per-instance stats.
+        """
+        cached = self._late_cache.get(concept)
+        current = self.concept_version(concept)
+        if cached is None or cached[0] != current:
+            cached = (
+                current,
+                frozenset(
+                    instance
+                    for instance, state in self._by_concept.get(
+                        concept, _EMPTY_DICT
+                    ).items()
+                    if state.count == 1 and state.first_iteration > 1
+                ),
+            )
+            self._late_cache[concept] = cached
         return cached[1]
 
     def instances_by_iteration(self, concept: str, iteration: int) -> frozenset[str]:
@@ -375,10 +455,11 @@ class KnowledgeBase:
 
     def records_triggered_by(self, pair: IsAPair) -> list[ExtractionRecord]:
         """Active records that list ``pair`` among their triggers."""
+        records = self._records
         return [
-            self._records[rid]
+            record
             for rid in self._records_by_trigger.get(pair, ())
-            if self._records[rid].active
+            if (record := records[rid]).active
         ]
 
     def sub_instance_counts(self, concept: str, instance: str) -> dict[str, int]:

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 
 from ..concepts.exclusion import MutualExclusionIndex
 from ..config import LabelingConfig
@@ -19,6 +19,8 @@ from ..kb.pair import IsAPair
 from ..kb.store import KnowledgeBase
 
 __all__ = ["EvidenceIndex"]
+
+_EMPTY: frozenset[str] = frozenset()
 
 
 class EvidenceIndex:
@@ -35,12 +37,43 @@ class EvidenceIndex:
         self._exclusion = exclusion
         self._config = config or LabelingConfig()
         self._verified = frozenset(verified)
+        # concept → verified instances, so the per-instance hot paths test
+        # string membership instead of constructing IsAPair keys.
+        grouped: dict[str, set[str]] = {}
+        for pair in self._verified:
+            grouped.setdefault(pair.concept, set()).add(pair.instance)
+        self._verified_by_concept: dict[str, frozenset[str]] = {
+            concept: frozenset(names) for concept, names in grouped.items()
+        }
         self._correct_cache: dict[str, frozenset[str]] = {}
 
     @property
     def threshold(self) -> int:
         """The evidence threshold ``k``."""
         return self._config.evidence_threshold_k
+
+    @property
+    def verified(self) -> frozenset[IsAPair]:
+        """Pairs from the verified source (count even when not in the KB)."""
+        return self._verified
+
+    def verified_instances(self, concept: str) -> frozenset[str]:
+        """Verified instances of one concept (empty set when none)."""
+        return self._verified_by_concept.get(concept, _EMPTY)
+
+    def prime_correct(self, entries: Mapping[str, frozenset[str]]) -> None:
+        """Seed the evidenced-correct memo with externally cached results.
+
+        The analysis cache carries evidenced-correct sets across detection
+        refits for concepts whose KB version (and hence verified sample)
+        is unchanged; a primed entry must be exactly what
+        :meth:`evidenced_correct` would compute.
+        """
+        self._correct_cache.update(entries)
+
+    def correct_snapshot(self) -> dict[str, frozenset[str]]:
+        """The evidenced-correct results computed (or primed) so far."""
+        return dict(self._correct_cache)
 
     def evidenced_correct(self, concept: str) -> frozenset[str]:
         """All evidenced-correct instances of a concept."""
@@ -49,11 +82,12 @@ class EvidenceIndex:
             return cached
         threshold = self._config.evidence_threshold_k
         counts = self._kb.core_counts(concept)
+        verified_here = self._verified_by_concept.get(concept, frozenset())
         names = {
             instance
             for instance in self._kb.instances_of(concept)
             if counts.get(instance, 0) > threshold
-            or IsAPair(concept, instance) in self._verified
+            or instance in verified_here
         }
         result = frozenset(names)
         self._correct_cache[concept] = result
@@ -63,10 +97,9 @@ class EvidenceIndex:
         """Verified source, or frequent (> k sentences) in iteration 1."""
         if instance in self.evidenced_correct(concept):
             return True
-        if not self._verified:
-            return False
         # Verified pairs count even when not (or no longer) in the KB.
-        return IsAPair(concept, instance) in self._verified
+        verified_here = self._verified_by_concept.get(concept)
+        return verified_here is not None and instance in verified_here
 
     def is_evidenced_incorrect(self, concept: str, instance: str) -> bool:
         """One late, accidental extraction of another exclusive concept's
@@ -77,7 +110,7 @@ class EvidenceIndex:
         count, first_iteration = stats
         if count != 1 or first_iteration <= 1:
             return False
-        for other in self._kb.concepts_with_instance(instance):
+        for other in self._kb.iter_concepts_with_instance(instance):
             if other == concept:
                 continue
             if not self._exclusion.exclusive(concept, other):

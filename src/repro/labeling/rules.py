@@ -91,8 +91,14 @@ class SeedLabeler:
         """Label the seeds of one concept."""
         labels: list[SeedLabel] = []
         correct = self._evidence.evidenced_correct(concept)
-        for instance in sorted(self._kb.instances_of(concept)):
-            label = self._classify(concept, instance, correct)
+        # Every rule needs the instance either evidenced correct (RULES
+        # 1/3) or extracted once after iteration 1 (RULE 2's gate);
+        # anything else classifies to None without further lookups.
+        late = self._kb.singleton_late_instances(concept)
+        for instance in self._kb.sorted_instances(concept):
+            if instance not in correct and instance not in late:
+                continue
+            label = self._classify(concept, instance, correct, late)
             if label is not None:
                 labels.append(SeedLabel(concept, instance, label))
         return labels
@@ -110,16 +116,22 @@ class SeedLabeler:
     # Internals
     # ------------------------------------------------------------------
     def _classify(
-        self, concept: str, instance: str, correct: frozenset[str]
+        self,
+        concept: str,
+        instance: str,
+        correct: frozenset[str],
+        late: frozenset[str],
     ) -> DPLabel | None:
         # RULE 2 first: evidenced incorrect is the strongest signal and is
         # mutually exclusive with being evidenced correct.
-        if self._evidence.is_evidenced_incorrect(concept, instance):
+        if instance in late and self._evidence.is_evidenced_incorrect(
+            concept, instance
+        ):
             return DPLabel.ACCIDENTAL
         if instance not in correct:
             return None
         subs = self._kb.sub_instance_counts(concept, instance)
-        if self._subs_hit_exclusive_concept(concept, subs):
+        if self._subs_hit_exclusive_concept(concept, subs, correct):
             return DPLabel.INTENTIONAL  # RULE 1
         if self._rule3_mode == "tolerant":
             return DPLabel.NON_DP  # RULE 3 (sparse-evidence reading)
@@ -128,22 +140,25 @@ class SeedLabeler:
         return None
 
     def _subs_hit_exclusive_concept(
-        self, concept: str, subs: dict[str, int]
+        self, concept: str, subs: dict[str, int], correct: frozenset[str]
     ) -> bool:
         evidence = self._evidence
         kb = self._kb
         core = kb.core_counts(concept)
         exclusive = self._exclusion.exclusive
+        verified = evidence.verified_instances(concept)
         for sub in subs:
             # A sub-instance only incriminates its trigger if the sub does
             # not itself look like a member of the target concept: a benign
             # trigger may legitimately co-occur with a polysemous bridge
             # (dog triggering chicken must not make dog an Intentional DP).
-            if evidence.is_evidenced_correct(concept, sub):
+            # (Inline is_evidenced_correct(concept, sub): the caller's
+            # ``correct`` set is exactly evidenced_correct(concept).)
+            if sub in correct or sub in verified:
                 continue
             if core.get(sub, 0) > 0:
                 continue
-            for other in kb.concepts_with_instance(sub):
+            for other in kb.iter_concepts_with_instance(sub):
                 if other == concept:
                     continue
                 if not exclusive(concept, other):

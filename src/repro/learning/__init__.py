@@ -2,7 +2,8 @@
 
 from .adhoc import AdHocDetector
 from .decision_tree import DecisionTreeClassifier
-from .detector import DETECTION_METHODS, DPDetector
+from .detector import DETECTION_METHODS, DetectorRefitCache, DPDetector
+from .embedding import FrozenEmbedding
 from .kernels import get_kernel, linear_kernel, polynomial_kernel, rbf_kernel
 from .kpca import KernelPCA
 from .local_predictor import knn_indices, local_laplacian, manifold_matrix
@@ -17,6 +18,8 @@ __all__ = [
     "DETECTION_METHODS",
     "DPDetector",
     "DecisionTreeClassifier",
+    "DetectorRefitCache",
+    "FrozenEmbedding",
     "KernelPCA",
     "MultiTaskResult",
     "MultiTaskTrainer",

@@ -23,17 +23,18 @@ import numpy as np
 from ..config import DetectorConfig
 from ..errors import LearningError, NotFittedError
 from ..features.matrix import ConceptMatrix
-from ..labeling.labels import DPLabel, vector_to_label
+from ..labeling.labels import DPLabel
 from ..labeling.rules import SeedLabelSet
 from ..rng import generator_from
 from .adhoc import AdHocDetector
-from .kpca import KernelPCA
+from .embedding import FrozenEmbedding
 from .multitask import MultiTaskTrainer
+from .local_predictor import manifold_matrices
 from .random_forest import RandomForestClassifier
 from .semisupervised import solve_semisupervised
 from .training_data import ConceptTrainingData, build_training_data
 
-__all__ = ["DPDetector", "DETECTION_METHODS"]
+__all__ = ["DPDetector", "DetectorRefitCache", "DETECTION_METHODS"]
 
 DETECTION_METHODS = (
     "multitask",
@@ -46,6 +47,26 @@ DETECTION_METHODS = (
 )
 
 _CLASS_ORDER = (DPLabel.INTENTIONAL, DPLabel.ACCIDENTAL, DPLabel.NON_DP)
+
+
+class DetectorRefitCache:
+    """Per-knowledge-base reuse of transforms and manifolds across refits.
+
+    Entries are validated by **object identity**: the analysis cache hands
+    back the *same* :class:`ConceptMatrix` object when a concept's
+    dependency versions are unchanged, so ``entry matrix is matrix``
+    proves the raw features are byte-identical and the cached transform —
+    and the manifold regulariser derived from it — are exact.  The cache
+    is cleared whenever the embedding object changes, since transforms
+    are only comparable under one basis.
+    """
+
+    __slots__ = ("embedding", "transforms", "manifolds")
+
+    def __init__(self) -> None:
+        self.embedding: FrozenEmbedding | None = None
+        self.transforms: dict[str, tuple[ConceptMatrix, np.ndarray]] = {}
+        self.manifolds: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
 
 class DPDetector:
@@ -69,7 +90,7 @@ class DPDetector:
         self._pooled_weight: np.ndarray | None = None
         self._forest: RandomForestClassifier | None = None
         self._adhoc: AdHocDetector | None = None
-        self._kpca: KernelPCA | None = None
+        self._embedding: FrozenEmbedding | None = None
         self._datasets: dict[str, ConceptTrainingData] = {}
         self.accuracy_history: list[float] = []
         self.objective_history: list[float] = []
@@ -80,6 +101,16 @@ class DPDetector:
         """The detection method in use."""
         return self._method
 
+    @property
+    def embedding(self) -> FrozenEmbedding | None:
+        """The embedding used (fitted here or supplied; kernel methods only)."""
+        return self._embedding
+
+    @property
+    def concept_weights(self) -> dict[str, np.ndarray]:
+        """Fitted per-concept weights (for warm-starting a later refit)."""
+        return dict(self._weights)
+
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
@@ -88,12 +119,24 @@ class DPDetector:
         matrices: Mapping[str, ConceptMatrix],
         seeds: SeedLabelSet,
         eval_fn: Callable[["DPDetector"], float] | None = None,
+        *,
+        embedding: FrozenEmbedding | None = None,
+        refit_cache: DetectorRefitCache | None = None,
+        initial_weights: Mapping[str, np.ndarray] | None = None,
     ) -> "DPDetector":
         """Train on per-concept matrices and automatically labelled seeds.
 
         ``eval_fn`` (multitask only) is called after each training
         iteration with the partially trained detector; its return values
         populate :attr:`accuracy_history` (Fig. 5c).
+
+        ``embedding`` reuses an already-fitted standardisation + KPCA
+        basis instead of fitting one on the supplied matrices — the
+        cleaning loop freezes round one's embedding for later rounds.
+        ``refit_cache`` reuses per-concept transforms and manifold
+        regularisers for matrices *object-identical* to a previous fit
+        (bit-exact by construction).  ``initial_weights`` warm-starts the
+        multi-task optimisation (opt-in; may change results).
         """
         self._matrices = dict(matrices)
         if not self._matrices:
@@ -102,8 +145,8 @@ class DPDetector:
             self._fit_raw_baseline(seeds)
             self._fitted = True
             return self
-        self._fit_kpca()
-        self._build_datasets(seeds)
+        self._embed(embedding, refit_cache)
+        self._build_datasets(seeds, refit_cache)
         labelled = [d for d in self._datasets.values() if d.n_labeled > 0]
         if not labelled:
             raise LearningError("no concept has labelled seeds")
@@ -120,7 +163,9 @@ class DPDetector:
             wrapped = None
             if eval_fn is not None:
                 wrapped = self._wrap_eval(eval_fn)
-            result = trainer.fit(labelled, eval_fn=wrapped)
+            result = trainer.fit(
+                labelled, eval_fn=wrapped, initial_weights=initial_weights
+            )
             self._weights = result.weights
             self.objective_history = result.objective_history
             self.accuracy_history = result.accuracy_history
@@ -162,11 +207,11 @@ class DPDetector:
             # borderline instances are surfaced as DP candidates.  The
             # DP cleaner's definition-level guards and Eq. 21 arbitration
             # absorb the extra false positives.
-            scores = scores.copy()
             scores[:, 2] -= self._config.non_dp_bias
+        choices = np.argmax(scores, axis=1)
         return {
-            name: vector_to_label(row)
-            for name, row in zip(matrix.instances, scores)
+            name: _CLASS_ORDER[choice]
+            for name, choice in zip(matrix.instances, choices)
         }
 
     def predict_all(self) -> dict[str, dict[str, DPLabel]]:
@@ -186,33 +231,37 @@ class DPDetector:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _fit_kpca(self) -> None:
-        pooled = np.vstack([
-            m.x for m in self._matrices.values() if m.size > 0
-        ])
-        # Features live on very different scales (f2 counts vs. 1e-3 walk
-        # probabilities); z-score them so no dimension dominates the kernel.
-        self._feature_mean = pooled.mean(axis=0)
-        self._feature_std = np.maximum(pooled.std(axis=0), 1e-9)
-        pooled = (pooled - self._feature_mean) / self._feature_std
-        self._kpca = KernelPCA.fit_on_sample(
-            pooled,
-            n_components=self._config.kpca_components,
-            kernel=self._config.kpca_kernel,
-            gamma=self._config.kpca_gamma,
-            sample_size=self._config.kpca_sample_size,
-            seed=self._rng,
-        )
+    def _embed(
+        self,
+        embedding: FrozenEmbedding | None,
+        cache: DetectorRefitCache | None,
+    ) -> None:
+        if embedding is None:
+            embedding = FrozenEmbedding.fit(
+                self._matrices, self._config, seed=self._rng
+            )
+        self._embedding = embedding
+        if cache is not None and cache.embedding is not embedding:
+            # Transforms are only comparable under one basis.
+            cache.embedding = embedding
+            cache.transforms.clear()
+            cache.manifolds.clear()
         # Projection stays per concept: the blocks fit in cache, whereas a
         # pooled kernel-matrix transform thrashes on its own temporaries.
-        self._transformed = {
-            concept: self._kpca.transform(
-                (matrix.x - self._feature_mean) / self._feature_std
-            )
-            for concept, matrix in self._matrices.items()
-        }
+        self._transformed = {}
+        for concept, matrix in self._matrices.items():
+            entry = cache.transforms.get(concept) if cache is not None else None
+            if entry is not None and entry[0] is matrix:
+                transformed = entry[1]
+            else:
+                transformed = embedding.transform(matrix.x)
+                if cache is not None:
+                    cache.transforms[concept] = (matrix, transformed)
+            self._transformed[concept] = transformed
 
-    def _build_datasets(self, seeds: SeedLabelSet) -> None:
+    def _build_datasets(
+        self, seeds: SeedLabelSet, cache: DetectorRefitCache | None = None
+    ) -> None:
         class_weights = None
         if self._config.class_balance:
             counts = seeds.counts()
@@ -221,10 +270,37 @@ class DPDetector:
                 dtype=float,
             )
             class_weights = totals.sum() / (3.0 * totals)
+        # Only concepts with seed labels ever enter training (pooled or
+        # multi-task); seed-less ones are predicted with the pooled weight
+        # and need no dataset — and, above all, no manifold regulariser,
+        # the most expensive per-concept artefact.
+        with_seeds = [
+            (concept, matrix)
+            for concept, matrix in self._matrices.items()
+            if matrix.size != 0 and seeds.labels_for(concept)
+        ]
+        # Resolve manifold regularisers first: cached ones by transform
+        # identity, the rest in one batched computation.
+        manifolds: dict[str, np.ndarray] = {}
+        pending: dict[str, np.ndarray] = {}
+        for concept, matrix in with_seeds:
+            transformed = self._transformed[concept]
+            if cache is not None:
+                entry = cache.manifolds.get(concept)
+                if entry is not None and entry[0] is transformed:
+                    manifolds[concept] = entry[1]
+                    continue
+            pending[concept] = transformed
+        if pending:
+            fresh = manifold_matrices(
+                pending, self._config.k_neighbors, self._config.local_reg
+            )
+            for concept, a in fresh.items():
+                manifolds[concept] = a
+                if cache is not None:
+                    cache.manifolds[concept] = (pending[concept], a)
         self._datasets = {}
-        for concept, matrix in self._matrices.items():
-            if matrix.size == 0:
-                continue
+        for concept, matrix in with_seeds:
             self._datasets[concept] = build_training_data(
                 matrix,
                 self._transformed[concept],
@@ -232,6 +308,7 @@ class DPDetector:
                 k_neighbors=self._config.k_neighbors,
                 local_reg=self._config.local_reg,
                 class_weights=class_weights,
+                a=manifolds[concept],
             )
 
     def _fit_pooled(self, labelled: list[ConceptTrainingData]) -> None:

@@ -1,0 +1,72 @@
+"""Frozen feature embedding shared across detection refits.
+
+The detector z-scores the pooled raw features and projects them through a
+kernel-PCA basis fitted on a pooled sample (§3.3.1).  Both the
+standardisation statistics and the basis are *global* — they move whenever
+any concept's features move — so recomputing them per cleaning round would
+force a full refit even when one concept changed.  Instead the cleaning
+loop fits the embedding once, on the first detection, and **freezes** it
+for subsequent rounds: per-concept transforms stay deterministic functions
+of the concept's own raw features, which is what makes the analysis
+cache's per-concept transform reuse bit-exact.  (The cleaner removes a few
+percent of rows per round; the round-one statistics remain representative.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..config import DetectorConfig
+from ..errors import LearningError
+from ..features.matrix import ConceptMatrix
+from .kpca import KernelPCA
+
+__all__ = ["FrozenEmbedding"]
+
+
+class FrozenEmbedding:
+    """Z-scoring statistics plus a fitted kernel-PCA basis."""
+
+    def __init__(
+        self, mean: np.ndarray, std: np.ndarray, kpca: KernelPCA
+    ) -> None:
+        self.mean = mean
+        self.std = std
+        self.kpca = kpca
+
+    @property
+    def n_components(self) -> int:
+        """Dimensionality of the embedded space."""
+        return self.kpca.n_components
+
+    @classmethod
+    def fit(
+        cls,
+        matrices: Mapping[str, ConceptMatrix],
+        config: DetectorConfig,
+        seed: int | np.random.Generator | None = None,
+    ) -> "FrozenEmbedding":
+        """Fit statistics and basis on the pooled concept matrices."""
+        blocks = [m.x for m in matrices.values() if m.size > 0]
+        if not blocks:
+            raise LearningError("no non-empty concept matrices to embed")
+        pooled = np.vstack(blocks)
+        # Features live on very different scales (f2 counts vs. 1e-3 walk
+        # probabilities); z-score them so no dimension dominates the kernel.
+        mean = pooled.mean(axis=0)
+        std = np.maximum(pooled.std(axis=0), 1e-9)
+        kpca = KernelPCA.fit_on_sample(
+            (pooled - mean) / std,
+            n_components=config.kpca_components,
+            kernel=config.kpca_kernel,
+            gamma=config.kpca_gamma,
+            sample_size=config.kpca_sample_size,
+            seed=seed,
+        )
+        return cls(mean=mean, std=std, kpca=kpca)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Embed raw feature rows (deterministic, row-independent)."""
+        return self.kpca.transform((x - self.mean) / self.std)

@@ -23,9 +23,11 @@ def rbf_kernel(
         gamma = 1.0 / (a.shape[1] * variance) if variance > 0 else 1.0
     sq_a = (a * a).sum(axis=1)[:, None]
     sq_b = (b * b).sum(axis=1)[None, :]
-    distances = sq_a + sq_b - 2.0 * (a @ b.T)
+    distances = sq_a + sq_b
+    distances -= 2.0 * (a @ b.T)
     np.maximum(distances, 0.0, out=distances)
-    return np.exp(-gamma * distances)
+    distances *= -gamma
+    return np.exp(distances, out=distances)
 
 
 def linear_kernel(a: np.ndarray, b: np.ndarray, gamma: float | None = None) -> np.ndarray:

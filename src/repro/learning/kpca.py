@@ -89,8 +89,12 @@ class KernelPCA:
             return np.zeros((0, self.n_components))
         k = self._kernel(x, self._fit_x, self._gamma)
         row_means = k.mean(axis=1, keepdims=True)
-        centred = k - self._column_means[None, :] - row_means + self._total_mean
-        return centred @ self._alphas
+        # Centre in place (the kernel matrix is ours): same operation
+        # order as `k - col - row + total`, without the temporaries.
+        k -= self._column_means[None, :]
+        k -= row_means
+        k += self._total_mean
+        return k @ self._alphas
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         """Fit on ``x`` and return its projection."""

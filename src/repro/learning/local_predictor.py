@@ -14,11 +14,18 @@ centring matrix.  This is how unlabelled instances shape the detector.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 import numpy as np
 
 from ..errors import LearningError
 
-__all__ = ["knn_indices", "local_laplacian", "manifold_matrix"]
+__all__ = [
+    "knn_indices",
+    "local_laplacian",
+    "manifold_matrix",
+    "manifold_matrices",
+]
 
 
 def knn_indices(x: np.ndarray, k: int) -> np.ndarray:
@@ -88,3 +95,47 @@ def manifold_matrix(
     # materialising the n × n scatter matrix Σᵢ Sᵢ Lᵢ Sᵢᵀ.
     partial = np.matmul(np.transpose(blocks, (0, 2, 1)), laplacians)
     return np.matmul(partial, blocks).sum(axis=0)
+
+
+def manifold_matrices(
+    xs: Mapping[str, np.ndarray], k_neighbors: int, local_reg: float
+) -> dict[str, np.ndarray]:
+    """:func:`manifold_matrix` for many concepts in shared batched calls.
+
+    Concepts whose neighbourhood blocks have the same shape are stacked
+    into one batched solve/matmul sequence.  The gufuncs apply identical
+    per-item kernels whatever the batch length, so every returned matrix
+    is bit-identical to a standalone :func:`manifold_matrix` call — only
+    the per-concept python and dispatch overhead is amortised.
+    """
+    result: dict[str, np.ndarray] = {}
+    grouped: dict[tuple[int, int], list[tuple[str, np.ndarray]]] = {}
+    for name, x in xs.items():
+        n, r = x.shape
+        if n == 0:
+            result[name] = np.zeros((r, r))
+            continue
+        blocks = x[knn_indices(x, k_neighbors)]
+        grouped.setdefault(blocks.shape[1:], []).append((name, blocks))
+    for (m_size, _), entries in grouped.items():
+        blocks = (
+            entries[0][1]
+            if len(entries) == 1
+            else np.concatenate([b for _, b in entries], axis=0)
+        )
+        bbt = np.matmul(blocks, np.transpose(blocks, (0, 2, 1)))
+        hbbt = bbt - bbt.mean(axis=1, keepdims=True)
+        hbbth = hbbt - hbbt.mean(axis=2, keepdims=True)
+        h = np.eye(m_size) - np.full((m_size, m_size), 1.0 / m_size)
+        laplacians = h - np.linalg.solve(
+            hbbt + local_reg * np.eye(m_size), hbbth
+        )
+        laplacians = 0.5 * (laplacians + np.transpose(laplacians, (0, 2, 1)))
+        partial = np.matmul(np.transpose(blocks, (0, 2, 1)), laplacians)
+        products = np.matmul(partial, blocks)
+        offset = 0
+        for name, concept_blocks in entries:
+            count = concept_blocks.shape[0]
+            result[name] = products[offset:offset + count].sum(axis=0)
+            offset += count
+    return result

@@ -67,14 +67,18 @@ def build_training_data(
     k_neighbors: int,
     local_reg: float,
     class_weights: np.ndarray | None = None,
+    a: np.ndarray | None = None,
 ) -> ConceptTrainingData:
     """Assemble one concept's bundle from transformed features and seeds.
 
     ``class_weights`` (length 3, one per label column) scales the squared
     loss per class; the detector passes inverse-frequency weights so the
-    dominant non-DP seed class does not drown the DP classes.
+    dominant non-DP seed class does not drown the DP classes.  ``a``
+    optionally supplies a precomputed manifold regulariser for exactly
+    this ``transformed`` (the analysis cache reuses it across refits —
+    it is by far the most expensive part of the bundle).
     """
-    index = {name: i for i, name in enumerate(matrix.instances)}
+    index = matrix.row_index
     rows = []
     labels = []
     for seed in seeds:
@@ -96,7 +100,8 @@ def build_training_data(
     weights = None
     if class_weights is not None and y.shape[0]:
         weights = y @ np.asarray(class_weights, dtype=float)
-    a = manifold_matrix(transformed, k_neighbors, local_reg)
+    if a is None:
+        a = manifold_matrix(transformed, k_neighbors, local_reg)
     return ConceptTrainingData(
         concept=matrix.concept,
         instances=matrix.instances,
