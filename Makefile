@@ -4,7 +4,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 DATE   := $(shell date +%Y-%m-%d)
 
-.PHONY: test bench bench-substrates bench-compare
+.PHONY: test bench bench-substrates bench-ingest bench-compare
 
 test:
 	$(PYTEST) -x -q
@@ -17,6 +17,12 @@ bench:
 # extraction) — the quick loop while optimising.
 bench-substrates:
 	$(PYTEST) benchmarks/test_bench_substrates.py --benchmark-only \
+		--benchmark-json=BENCH_$(DATE).json
+
+# The streaming-service benchmarks alone (per-batch ingest latency,
+# durability overhead, cold resume).
+bench-ingest:
+	$(PYTEST) benchmarks/test_bench_ingest.py --benchmark-only \
 		--benchmark-json=BENCH_$(DATE).json
 
 # Re-run the benchmarks and fail if anything regressed more than 1.5x

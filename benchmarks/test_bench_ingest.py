@@ -1,0 +1,87 @@
+"""Benchmarks for the streaming ingestion service.
+
+Tracks the per-batch cost of the streaming path (incremental extraction +
+drift telemetry), the overhead durability adds (journal fsyncs +
+snapshots), and how fast a killed session comes back — cold resume from
+checkpoint + journal replay versus re-ingesting from scratch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import IngestPolicy
+
+from .conftest import make_pipeline, run_once
+
+BATCH_SIZE = 500
+
+
+@pytest.fixture(scope="module")
+def bench_batches(bench_pipeline):
+    return list(bench_pipeline.corpus().batches(BATCH_SIZE))
+
+
+def _drain(session, batches):
+    for batch in batches:
+        session.ingest(batch)
+    return session
+
+
+def test_bench_ingest_session(benchmark, bench_batches):
+    """Whole-corpus streaming ingest, cleaning disabled (pure extract)."""
+    def run():
+        session = make_pipeline().session(policy=IngestPolicy.never())
+        return _drain(session, bench_batches)
+
+    session = run_once(benchmark, run)
+    assert session.batches_ingested == len(bench_batches)
+    assert len(session.kb) > 1000
+
+
+def test_bench_ingest_with_drift_cleaning(benchmark, bench_batches):
+    """Streaming ingest with the drift trigger armed."""
+    policy = IngestPolicy(
+        staleness_threshold=None, drift_threshold=0.05, min_new_pairs=10
+    )
+
+    def run():
+        session = make_pipeline().session(policy=policy)
+        return _drain(session, bench_batches)
+
+    session = run_once(benchmark, run)
+    assert session.cleanings > 0
+    assert len(session.kb.removed_pairs()) > 0
+
+
+def test_bench_ingest_durable(benchmark, bench_batches, tmp_path):
+    """Streaming ingest paying for journal fsyncs + per-batch snapshots."""
+    def run():
+        session = make_pipeline().session(
+            policy=IngestPolicy.never(),
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=1,
+        )
+        return _drain(session, bench_batches)
+
+    session = run_once(benchmark, run)
+    assert session.batches_ingested == len(bench_batches)
+
+
+def test_bench_session_resume(benchmark, bench_batches, tmp_path):
+    """Cold resume from a snapshot + journal tail (no re-extraction cost
+    for snapshotted batches; the journal tail replays the cheap path)."""
+    ckpt = tmp_path / "resume-ckpt"
+    cold = make_pipeline().session(
+        policy=IngestPolicy.never(), checkpoint_dir=ckpt, checkpoint_every=2
+    )
+    _drain(cold, bench_batches)
+
+    def run():
+        return make_pipeline().session(
+            policy=IngestPolicy.never(), checkpoint_dir=ckpt, resume=True
+        )
+
+    resumed = run_once(benchmark, run)
+    assert resumed.batches_ingested == cold.batches_ingested
+    assert len(resumed.kb) == len(cold.kb)

@@ -1,9 +1,13 @@
 #!/usr/bin/env python
-"""Persist a knowledge base, reload it, clean it, and audit one instance.
+"""Persist a knowledge base, reload it, checkpoint it, and audit one
+instance.
 
 Demonstrates the persistence layer (worlds and knowledge bases round-trip
-through JSON with full provenance) and the ``diagnose`` API that explains
-everything the pipeline knows about one (concept, instance).
+through JSON with full provenance, schema-version stamped), the
+service-grade :class:`~repro.service.CheckpointStore` (atomic snapshots +
+redo journal — what ``repro ingest --checkpoint-dir`` builds on), and the
+``diagnose`` API that explains everything the pipeline knows about one
+(concept, instance).
 
 Run:  python examples/kb_persistence.py
 """
@@ -14,7 +18,7 @@ import json
 import tempfile
 from pathlib import Path
 
-from repro import DPLabel
+from repro import CheckpointStore, DPLabel
 from repro.experiments.pipeline import Pipeline, experiment_config
 from repro.kb import load_kb, save_kb
 from repro.world import load_world, paper_world, save_world
@@ -44,6 +48,21 @@ def main() -> None:
         reloaded_kb = load_kb(kb_path)
         assert set(reloaded_kb.pairs()) == set(kb.pairs())
         print(f"reloaded: {reloaded_world} / {reloaded_kb}")
+
+        # The service-grade path: a checkpoint bundles the KB with the
+        # corpus and arbitrary session metadata, publishes atomically
+        # (crash-safe), and owns a redo journal for the batches since.
+        store = CheckpointStore(Path(tmp) / "checkpoint")
+        store.save_snapshot(
+            seq=1,
+            kb=kb,
+            sentences=artifacts.corpus.sentences,
+            meta={"note": "post-extraction snapshot"},
+        )
+        snapshot_kb, sentences, meta = store.load_snapshot()
+        assert set(snapshot_kb.pairs()) == set(kb.pairs())
+        print(f"checkpoint round-trip: {len(snapshot_kb)} pairs, "
+              f"{len(sentences)} sentences, meta={meta['note']!r}")
 
     # Audit one detected Intentional DP end to end.
     detected = artifacts.detector.predict_all()

@@ -56,6 +56,7 @@ from .extraction import SemanticIterativeExtractor
 from .kb import IsAPair, KnowledgeBase, RollbackEngine
 from .labeling import DPLabel, EvidenceIndex, SeedLabeler
 from .learning import DPDetector
+from .service import CheckpointStore, IngestPolicy, IngestSession
 from .world import World, WorldBuilder, motivating_example_world, paper_world, toy_world
 
 __version__ = "1.0.0"
@@ -72,7 +73,10 @@ __all__ = [
     "DetectorConfig",
     "EvidenceIndex",
     "ExtractionConfig",
+    "CheckpointStore",
     "GroundTruth",
+    "IngestPolicy",
+    "IngestSession",
     "IsAPair",
     "KnowledgeBase",
     "LabelingConfig",

@@ -65,9 +65,16 @@ class DPCleaner(BaseCleaner):
         config: CleaningConfig | None = None,
         ranker: RandomWalkRanker | None = None,
         use_cache: bool = True,
+        engine_factory: Callable[[KnowledgeBase], RollbackEngine] | None = None,
     ) -> None:
         self._detect_fn = detect_fn
         self._config = config or CleaningConfig()
+        # The streaming service journals cleaning outcomes by injecting a
+        # rollback engine that records the semantic operations it is asked
+        # to perform (see repro.service.journal); anything exposing
+        # rollback_pair/rollback_records with RollbackEngine semantics
+        # qualifies.
+        self._engine_factory = engine_factory or RollbackEngine
         # The cleaner issues two score_all calls per round over a KB it
         # mutates incrementally; the ranker's mutation-versioned cache
         # (see Ranker.score_all) re-ranks only the concepts the rollbacks
@@ -93,7 +100,7 @@ class DPCleaner(BaseCleaner):
         before = kb.removed_pairs()
         by_sid = corpus.by_sid()
         self._check_memo = {}
-        engine = RollbackEngine(kb)
+        engine = self._engine_factory(kb)
         rounds: list[RoundStats] = []
         total_rolled = 0
         for round_index in range(1, self._config.max_cleaning_rounds + 1):

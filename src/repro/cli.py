@@ -13,6 +13,11 @@ Run everything quickly on a smaller world::
 List available experiments::
 
     repro list
+
+Stream a corpus through a durable ingestion session::
+
+    repro ingest corpus.jsonl --batch-size 500 --checkpoint-dir state/
+    repro ingest corpus.jsonl --checkpoint-dir state/ --resume
 """
 
 from __future__ import annotations
@@ -23,8 +28,10 @@ import sys
 import time
 from pathlib import Path
 
+from .corpus.corpus import Corpus
 from .experiments.pipeline import Pipeline, experiment_config
 from .experiments.registry import experiment_names, run_experiment
+from .service.policy import IngestPolicy
 from .world.presets import paper_world
 
 __all__ = ["main", "build_parser"]
@@ -62,6 +69,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write <experiment>.json / <experiment>.txt into",
     )
     sub.add_parser("list", help="list available experiments")
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a corpus through a durable ingestion session",
+    )
+    ingest.add_argument(
+        "corpus", nargs="?", default=None,
+        help=(
+            "JSONL corpus to ingest (written by Corpus.dump_jsonl); omit "
+            "to generate a synthetic corpus from --scale/--sentences/--seed"
+        ),
+    )
+    ingest.add_argument(
+        "--batch-size", type=int, default=500,
+        help="sentences per batch (default 500)",
+    )
+    ingest.add_argument(
+        "--staleness", type=int, default=5000,
+        help=(
+            "clean after this many new sentences since the last pass "
+            "(default 5000; -1 disables the scheduled trigger)"
+        ),
+    )
+    ingest.add_argument(
+        "--drift-threshold", type=float, default=0.05,
+        help=(
+            "clean when a batch's drift fraction reaches this value "
+            "(default 0.05; -1 disables the drift trigger)"
+        ),
+    )
+    ingest.add_argument(
+        "--min-new-pairs", type=int, default=20,
+        help="drift only counts on batches with this many new pairs",
+    )
+    ingest.add_argument(
+        "--checkpoint-dir", type=str, default=None,
+        help="journal + snapshot directory (omit for an ephemeral session)",
+    )
+    ingest.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="snapshot cadence in batches (0 = journal only; default 1)",
+    )
+    ingest.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint-dir and skip already-ingested batches",
+    )
+    ingest.add_argument(
+        "--scale", type=float, default=4.0,
+        help="world size multiplier (default 4.0)",
+    )
+    ingest.add_argument(
+        "--sentences", type=int, default=24_000,
+        help="synthetic corpus size when no corpus path is given",
+    )
+    ingest.add_argument(
+        "--seed", type=int, default=20140324, help="pipeline seed",
+    )
     return parser
 
 
@@ -75,6 +138,52 @@ def _make_pipeline(args: argparse.Namespace) -> Pipeline:
     return Pipeline(preset=preset, config=config)
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    pipeline = _make_pipeline(args)
+    corpus = (
+        Corpus.load_jsonl(args.corpus) if args.corpus else pipeline.corpus()
+    )
+    policy = IngestPolicy(
+        staleness_threshold=(
+            None if args.staleness < 0 else args.staleness
+        ),
+        drift_threshold=(
+            None if args.drift_threshold < 0 else args.drift_threshold
+        ),
+        min_new_pairs=args.min_new_pairs,
+    )
+    session = pipeline.session(
+        policy=policy,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+    skip = session.batches_ingested
+    if skip:
+        print(f"resumed: {skip} batches already ingested")
+    for index, batch in enumerate(corpus.batches(args.batch_size)):
+        if index < skip:
+            continue
+        report = session.ingest(batch)
+        line = (
+            f"batch {report.index}: +{report.sentences_new} sentences, "
+            f"+{report.new_pairs} pairs, drift {report.drift.fraction:.3f}"
+        )
+        if report.cleaning is not None:
+            line += (
+                f" -> cleaned ({report.cleaning.reason}): "
+                f"-{report.cleaning.removed_pairs} pairs"
+            )
+        print(line)
+    if args.checkpoint_dir:
+        session.checkpoint()
+    print(json.dumps(session.stats(), indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -82,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in experiment_names():
             print(name)
         return 0
+    if args.command == "ingest":
+        return _run_ingest(args)
     names = experiment_names() if args.experiment == "all" else [args.experiment]
     output_dir = Path(args.output) if args.output else None
     if output_dir is not None:

@@ -1,6 +1,6 @@
 """Synthetic Hearst-pattern corpus substrate."""
 
-from .corpus import Corpus
+from .corpus import Corpus, sentence_from_json, sentence_to_json
 from .documents import Page, deduplicate, group_pages
 from .generator import CorpusGenerator, generate_corpus
 from .stats import CorpusStats, corpus_stats
@@ -18,4 +18,6 @@ __all__ = [
     "deduplicate",
     "generate_corpus",
     "group_pages",
+    "sentence_from_json",
+    "sentence_to_json",
 ]

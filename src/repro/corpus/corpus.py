@@ -11,7 +11,7 @@ from ..errors import CorpusError
 from .documents import Page, deduplicate, group_pages
 from .sentence import Sentence, SentenceKind, SentenceTruth
 
-__all__ = ["Corpus"]
+__all__ = ["Corpus", "sentence_to_json", "sentence_from_json"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,28 @@ class Corpus:
         return Corpus(tuple(s.without_truth() for s in self.sentences))
 
     # ------------------------------------------------------------------
+    # Batching (streaming ingestion)
+    # ------------------------------------------------------------------
+    def batches(self, batch_size: int) -> Iterator["Corpus"]:
+        """Split the corpus into successive batches of ``batch_size``.
+
+        The shards preserve sentence order; concatenating them yields the
+        original corpus.  This is the feed for streaming ingest sessions
+        (:mod:`repro.service`), which treat each shard as one arrival.
+        """
+        if batch_size <= 0:
+            raise CorpusError("batch_size must be positive")
+        for start in range(0, len(self.sentences), batch_size):
+            yield Corpus(self.sentences[start:start + batch_size])
+
+    def shards(self, num_shards: int) -> list["Corpus"]:
+        """Split the corpus into ``num_shards`` near-equal batches."""
+        if num_shards <= 0:
+            raise CorpusError("num_shards must be positive")
+        size = max(1, -(-len(self.sentences) // num_shards))
+        return list(self.batches(size))
+
+    # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def dump_jsonl(self, path: str | Path) -> None:
@@ -96,6 +118,16 @@ class Corpus:
     def from_sentences(cls, sentences: Sequence[Sentence]) -> "Corpus":
         """Build a corpus from any sentence sequence."""
         return cls(tuple(sentences))
+
+
+def sentence_to_json(sentence: Sentence) -> dict:
+    """The JSON form of one sentence (as in :meth:`Corpus.dump_jsonl`)."""
+    return _sentence_to_json(sentence)
+
+
+def sentence_from_json(record: dict) -> Sentence:
+    """Rebuild a sentence from :func:`sentence_to_json` output."""
+    return _sentence_from_json(record)
 
 
 def _sentence_to_json(sentence: Sentence) -> dict:

@@ -70,3 +70,7 @@ class CleaningError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment runner is misconfigured or unknown."""
+
+
+class ServiceError(ReproError):
+    """Raised on invalid streaming-service state (journal, checkpoint)."""

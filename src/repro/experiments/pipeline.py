@@ -28,6 +28,8 @@ from ..learning.detector import DPDetector
 from ..nlp.ner import SimulatedNER
 from ..ranking.random_walk import RandomWalkRanker
 from ..rng import RandomStreams
+from ..service.policy import IngestPolicy
+from ..service.session import IngestSession
 from ..world.presets import WorldPreset, paper_world
 
 __all__ = ["PipelineArtifacts", "Pipeline", "experiment_config"]
@@ -202,6 +204,11 @@ class Pipeline:
         """The pipeline configuration in use."""
         return self._config
 
+    @property
+    def analysis(self) -> AnalysisCache:
+        """The shared analysis cache behind every detection callback."""
+        return self._analysis
+
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
@@ -276,6 +283,36 @@ class Pipeline:
     def run(self) -> PipelineArtifacts:
         """Corpus → extraction → full analysis with a fitted detector."""
         return self.analyze()
+
+    def session(
+        self,
+        policy: IngestPolicy | None = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
+        detector_method: str = "multitask",
+    ) -> IngestSession:
+        """A streaming ingestion session on this pipeline's substrate.
+
+        The session shares the pipeline's ranker score cache and analysis
+        cache (through the detection callbacks it mints), so cleaning
+        passes inside the session cost the same incremental refits batch
+        cleaning does.  Each cleaning pass gets a *fresh* callback from
+        :meth:`detect_fn`, so the detector embedding is frozen within a
+        pass but refitted across passes — making batch mode the
+        degenerate session: the whole corpus as one batch with cleaning
+        forced reproduces ``extract()`` + ``DPCleaner.clean()``
+        bit-identically (pinned by ``tests/service/test_equivalence.py``).
+        """
+        return IngestSession(
+            config=self._config,
+            detect_factory=lambda: self.detect_fn(detector_method),
+            policy=policy,
+            analysis=self._analysis,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
 
     # ------------------------------------------------------------------
     # Helpers

@@ -1,12 +1,19 @@
 """Semantic-based iterative extraction substrate."""
 
-from .engine import ExtractionResult, SemanticIterativeExtractor
+from .engine import (
+    BatchExtraction,
+    ExtractionResult,
+    IncrementalExtractor,
+    SemanticIterativeExtractor,
+)
 from .pattern import HearstParser, ParsedSentence, naive_singularize
 from .trigger import POLICIES, Resolution, resolve
 
 __all__ = [
+    "BatchExtraction",
     "ExtractionResult",
     "HearstParser",
+    "IncrementalExtractor",
     "POLICIES",
     "ParsedSentence",
     "Resolution",

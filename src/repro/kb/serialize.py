@@ -16,10 +16,15 @@ from ..errors import KnowledgeBaseError
 from .pair import IsAPair
 from .store import KnowledgeBase
 
-__all__ = ["save_kb", "load_kb"]
+__all__ = ["save_kb", "load_kb", "SCHEMA_VERSION"]
 
 _FORMAT = "repro-kb"
 _VERSION = 1
+#: Version of the *record-row* schema (field names and meanings).  Bumped
+#: whenever a row field is added, removed or reinterpreted, independently
+#: of the container ``version``; loaders refuse files stamped with a
+#: different schema instead of silently misreading rows.
+SCHEMA_VERSION = 1
 
 
 def save_kb(kb: KnowledgeBase, path: str | Path) -> None:
@@ -28,6 +33,7 @@ def save_kb(kb: KnowledgeBase, path: str | Path) -> None:
     header = {
         "format": _FORMAT,
         "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
         "records": len(records),
         "pairs": len(kb),
         # Pairs force-removed (e.g. Accidental DPs) while their producing
@@ -81,6 +87,13 @@ def load_kb(path: str | Path) -> KnowledgeBase:
             raise KnowledgeBaseError(
                 f"unsupported KB version {header.get('version')!r}"
             )
+        schema = header.get("schema_version")
+        if schema != SCHEMA_VERSION:
+            raise KnowledgeBaseError(
+                f"{path} declares record schema {schema!r}; this reader "
+                f"understands schema {SCHEMA_VERSION} — refusing to guess "
+                "at row fields"
+            )
         to_deactivate: list[int] = []
         dead_trigger_rows: list[tuple[int, list]] = []
         for line_number, line in enumerate(handle, start=2):
@@ -122,4 +135,17 @@ def load_kb(path: str | Path) -> KnowledgeBase:
             pair = IsAPair(concept, instance)
             if pair in kb:
                 kb.remove_pair(pair)
+    # A truncated file parses line by line without complaint; the header
+    # counts are the integrity check that makes the loss loud.
+    loaded_records = sum(1 for _ in kb.records(include_inactive=True))
+    if loaded_records != header.get("records"):
+        raise KnowledgeBaseError(
+            f"{path} is truncated or padded: header promises "
+            f"{header.get('records')} records, file holds {loaded_records}"
+        )
+    if len(kb) != header.get("pairs"):
+        raise KnowledgeBaseError(
+            f"{path} is inconsistent: header promises {header.get('pairs')} "
+            f"alive pairs, replay produced {len(kb)}"
+        )
     return kb

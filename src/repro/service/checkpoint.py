@@ -1,0 +1,147 @@
+"""Durable session checkpoints: KB snapshot + corpus + session meta.
+
+Layout of a checkpoint directory::
+
+    journal.jsonl        redo journal (see repro.service.journal)
+    CURRENT              name of the active snapshot directory
+    snapshot-<seq>/      one complete snapshot
+        META.json        session state at seq (+ checkpoint format stamp)
+        kb.jsonl         the knowledge base (repro.kb.serialize format)
+        corpus.jsonl     accumulated de-duplicated sentences
+
+Snapshots are written to a temp directory, fsynced, renamed into place
+and only then published by atomically rewriting ``CURRENT`` — a crash at
+any point leaves either the old snapshot or the new one, never a torn
+mix.  The journal is truncated after publication; if the process dies in
+between, replay's ``seq`` guard skips the already-covered entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from collections.abc import Sequence
+
+from ..corpus.corpus import Corpus, sentence_from_json, sentence_to_json
+from ..corpus.sentence import Sentence
+from ..errors import ServiceError
+from ..kb.serialize import load_kb, save_kb
+from ..kb.store import KnowledgeBase
+from .journal import Journal
+
+__all__ = ["CheckpointStore", "CHECKPOINT_VERSION"]
+
+#: Version of the checkpoint directory layout and META schema.
+CHECKPOINT_VERSION = 1
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class CheckpointStore:
+    """Owns one checkpoint directory: snapshots plus the redo journal."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self.journal = Journal(self._dir / "journal.jsonl")
+
+    @property
+    def directory(self) -> Path:
+        """The checkpoint directory."""
+        return self._dir
+
+    def has_state(self) -> bool:
+        """True when there is anything to resume from."""
+        return (self._dir / "CURRENT").exists() or (
+            self.journal.path.exists()
+            and self.journal.path.stat().st_size > 0
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def save_snapshot(
+        self,
+        *,
+        seq: int,
+        kb: KnowledgeBase,
+        sentences: Sequence[Sentence],
+        meta: dict,
+    ) -> None:
+        """Write and publish a snapshot covering journal entries ≤ seq."""
+        name = f"snapshot-{seq}"
+        tmp = self._dir / (name + ".tmp")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        save_kb(kb, tmp / "kb.jsonl")
+        with open(tmp / "corpus.jsonl", "w", encoding="utf-8") as handle:
+            for sentence in sentences:
+                handle.write(json.dumps(sentence_to_json(sentence)) + "\n")
+        payload = dict(meta)
+        payload["checkpoint_version"] = CHECKPOINT_VERSION
+        payload["seq"] = seq
+        (tmp / "META.json").write_text(
+            json.dumps(payload, indent=2), encoding="utf-8"
+        )
+        for item in tmp.iterdir():
+            with open(item, "rb") as handle:
+                os.fsync(handle.fileno())
+        final = self._dir / name
+        if final.exists():
+            shutil.rmtree(final)
+        os.rename(tmp, final)
+        _fsync_dir(self._dir)
+        # Publish: CURRENT flips atomically to the new snapshot.
+        pointer = self._dir / "CURRENT.tmp"
+        pointer.write_text(name + "\n", encoding="utf-8")
+        with open(pointer, "rb") as handle:
+            os.fsync(handle.fileno())
+        os.replace(pointer, self._dir / "CURRENT")
+        _fsync_dir(self._dir)
+        # The journal is now fully covered; entries ≤ seq are dead either way.
+        self.journal.reset()
+        for stale in self._dir.glob("snapshot-*"):
+            if stale.name != name and stale.is_dir():
+                shutil.rmtree(stale)
+
+    def load_snapshot(
+        self,
+    ) -> tuple[KnowledgeBase, list[Sentence], dict] | None:
+        """Load the published snapshot, or ``None`` when there is none."""
+        pointer = self._dir / "CURRENT"
+        if not pointer.exists():
+            return None
+        name = pointer.read_text(encoding="utf-8").strip()
+        snapshot = self._dir / name
+        if not snapshot.is_dir():
+            raise ServiceError(
+                f"checkpoint {self._dir} points at missing snapshot {name!r}"
+            )
+        try:
+            meta = json.loads(
+                (snapshot / "META.json").read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"bad snapshot META in {snapshot}: {exc}") from exc
+        version = meta.get("checkpoint_version")
+        if version != CHECKPOINT_VERSION:
+            raise ServiceError(
+                f"{snapshot} uses checkpoint format {version!r}; this "
+                f"reader understands {CHECKPOINT_VERSION}"
+            )
+        kb = load_kb(snapshot / "kb.jsonl")
+        corpus = Corpus.load_jsonl(snapshot / "corpus.jsonl")
+        return kb, list(corpus.sentences), meta
+
+    def load_sentences(self, payload: list[dict]) -> list[Sentence]:
+        """Decode journal-entry sentences."""
+        return [sentence_from_json(record) for record in payload]

@@ -1,0 +1,148 @@
+"""The session redo journal.
+
+One JSON line per committed batch.  An entry is the *commit point* of its
+batch: it is appended (and fsynced) only after the batch has been fully
+applied in memory, so on resume the journal is replayed entry by entry
+and whatever was in flight when the process died is simply absent.  A
+torn final line — the classic crash-during-append artifact — is detected
+and discarded; a corrupt line *followed by* intact entries means real
+data loss and fails loudly instead.
+
+Entries carry a monotonic ``seq``.  Snapshots record the ``seq`` they
+cover, and replay skips entries at or below it, so a crash between
+"snapshot written" and "journal truncated" never double-applies.
+
+Cleaning passes are journaled as their **semantic rollback operations**
+(the pair rollbacks and record rollbacks the cleaner requested, in
+order), not as detector output: cascades re-derive deterministically from
+the KB state, so replaying the operations through a fresh
+:class:`~repro.kb.rollback.RollbackEngine` reproduces the exact mutation
+sequence — including version counters — without refitting a detector.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from collections.abc import Iterable, Iterator
+
+from ..errors import ServiceError
+from ..kb.pair import IsAPair
+from ..kb.rollback import RollbackEngine, RollbackResult
+from ..kb.store import KnowledgeBase
+
+__all__ = ["Journal", "JournalingRollbackEngine", "replay_clean_ops"]
+
+
+class JournalingRollbackEngine:
+    """A rollback engine that records the operations it is asked to run.
+
+    Wraps (rather than subclasses) :class:`RollbackEngine` so only the
+    *top-level* requests are recorded — ``rollback_pair`` internally
+    cascades through ``rollback_records``, and those cascades must be
+    re-derived at replay time, not replayed twice.
+    """
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        self._engine = RollbackEngine(kb)
+        self.ops: list[list] = []
+
+    def rollback_pair(self, pair: IsAPair) -> RollbackResult:
+        self.ops.append(["pair", pair.concept, pair.instance])
+        return self._engine.rollback_pair(pair)
+
+    def rollback_records(self, rids: Iterable[int]) -> RollbackResult:
+        rids = list(rids)
+        self.ops.append(["records", rids])
+        return self._engine.rollback_records(rids)
+
+
+def replay_clean_ops(kb: KnowledgeBase, ops: Iterable[list]) -> None:
+    """Re-apply journaled cleaning operations to a knowledge base."""
+    engine = RollbackEngine(kb)
+    for op in ops:
+        kind = op[0]
+        if kind == "pair":
+            engine.rollback_pair(IsAPair(op[1], op[2]))
+        elif kind == "records":
+            engine.rollback_records(op[1])
+        else:
+            raise ServiceError(f"unknown journaled cleaning op {kind!r}")
+
+
+class Journal:
+    """Append-only JSONL journal with fsync commits and torn-tail repair."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """The journal file location."""
+        return self._path
+
+    def append(self, entry: dict) -> None:
+        """Commit one entry durably (write + flush + fsync)."""
+        if "seq" not in entry:
+            raise ServiceError("journal entries must carry a seq")
+        line = json.dumps(entry, separators=(",", ":"))
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def entries(self, after_seq: int = 0) -> Iterator[dict]:
+        """Replay committed entries with ``seq > after_seq`` in order.
+
+        A torn final line is dropped silently (the batch never committed);
+        corruption anywhere else raises :class:`ServiceError`.
+        """
+        if not self._path.exists():
+            return
+        with open(self._path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        last_index = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                seq = entry["seq"]
+            except (json.JSONDecodeError, TypeError, KeyError) as exc:
+                if index == last_index:
+                    return  # torn tail: the entry never committed
+                raise ServiceError(
+                    f"corrupt journal entry at {self._path}:{index + 1} "
+                    f"with committed entries after it: {exc}"
+                ) from exc
+            if seq > after_seq:
+                yield entry
+
+    def reset(self) -> None:
+        """Drop every entry (called after a covering snapshot landed)."""
+        with open(self._path, "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def truncate_last_entry(self) -> bool:
+        """Remove the final committed entry (test/ops hook for torn writes).
+
+        Returns ``True`` when an entry was removed.  Used by crash-drill
+        tests to simulate a batch whose journal append never completed.
+        """
+        if not self._path.exists():
+            return False
+        with open(self._path, encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line.strip()]
+        if not lines:
+            return False
+        with open(self._path, "w", encoding="utf-8") as handle:
+            for line in lines[:-1]:
+                handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return True

@@ -1,0 +1,504 @@
+"""Incremental extraction sessions with drift-triggered cleaning.
+
+An :class:`IngestSession` wraps the incremental extractor, the shared
+analysis substrate and the DP cleaner into a long-running service loop.
+Per batch it:
+
+1. extracts only the new sentences (riding the incremental visible
+   snapshot and the versioned KB/score/analysis caches);
+2. updates drift telemetry — the fraction of the batch's new pairs whose
+   instance also lives under a mutually exclusive concept, read from the
+   shared :class:`~repro.concepts.exclusion.MutualExclusionIndex`;
+3. asks the :class:`~repro.service.policy.IngestPolicy` whether a
+   DP-cleaning pass is due (staleness or drift), and runs one if so.
+
+Cleaning passes are **self-contained**: each pass gets a fresh detection
+callback, so the detector embedding is frozen across the pass's rounds
+(exactly as in batch cleaning) but refitted per pass.  That makes every
+pass a pure function of (KB, corpus, config) — the property both
+invariants ride on:
+
+* *batch equivalence*: the whole corpus in one batch with cleaning
+  forced reproduces ``Pipeline.extract()`` + ``DPCleaner.clean()``
+  bit-identically;
+* *crash resume*: ``checkpoint + journal replay`` (re-running the cheap
+  extraction, re-applying journaled rollback ops, never refitting a
+  detector) reaches a bit-identical KB versus an uninterrupted session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Callable, Iterable
+
+from ..analysis.cache import AnalysisCache
+from ..cleaning.dp_cleaner import DetectFn, DPCleaner
+from ..config import PipelineConfig
+from ..corpus.corpus import Corpus, sentence_to_json
+from ..corpus.sentence import Sentence
+from ..errors import ServiceError
+from ..extraction.engine import BatchExtraction, IncrementalExtractor
+from ..kb.pair import IsAPair
+from ..kb.store import KnowledgeBase
+from .checkpoint import CheckpointStore
+from .journal import JournalingRollbackEngine, replay_clean_ops
+from .policy import IngestPolicy
+
+__all__ = ["DriftStats", "CleaningReport", "BatchReport", "IngestSession"]
+
+
+@dataclass(frozen=True)
+class DriftStats:
+    """Drift telemetry for one batch."""
+
+    new_pairs: int
+    conflicted: int
+    fraction: float
+    #: concept → [new pairs, conflicted pairs] for this batch.
+    per_concept: dict[str, list[int]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "new_pairs": self.new_pairs,
+            "conflicted": self.conflicted,
+            "fraction": self.fraction,
+            "per_concept": self.per_concept,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DriftStats":
+        return cls(
+            new_pairs=payload["new_pairs"],
+            conflicted=payload["conflicted"],
+            fraction=payload["fraction"],
+            per_concept={
+                concept: list(counts)
+                for concept, counts in payload["per_concept"].items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class CleaningReport:
+    """What one drift-triggered cleaning pass did."""
+
+    reason: str
+    removed_pairs: int
+    records_rolled_back: int
+    rounds: int
+    #: per-round counters (round_index, intentional/accidental DPs, ...).
+    round_stats: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "removed_pairs": self.removed_pairs,
+            "records_rolled_back": self.records_rolled_back,
+            "rounds": self.rounds,
+            "round_stats": self.round_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CleaningReport":
+        return cls(
+            reason=payload["reason"],
+            removed_pairs=payload["removed_pairs"],
+            records_rolled_back=payload["records_rolled_back"],
+            rounds=payload["rounds"],
+            round_stats=list(payload["round_stats"]),
+        )
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Everything one ingested batch did to the session."""
+
+    seq: int
+    index: int
+    sentences_seen: int
+    sentences_new: int
+    core_resolved: int
+    ambiguous_resolved: int
+    new_pairs: int
+    total_pairs: int
+    iterations_run: int
+    drift: DriftStats
+    cleaning: CleaningReport | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "index": self.index,
+            "sentences_seen": self.sentences_seen,
+            "sentences_new": self.sentences_new,
+            "core_resolved": self.core_resolved,
+            "ambiguous_resolved": self.ambiguous_resolved,
+            "new_pairs": self.new_pairs,
+            "total_pairs": self.total_pairs,
+            "iterations_run": self.iterations_run,
+            "drift": self.drift.to_dict(),
+            "cleaning": self.cleaning.to_dict() if self.cleaning else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BatchReport":
+        cleaning = payload.get("cleaning")
+        return cls(
+            seq=payload["seq"],
+            index=payload["index"],
+            sentences_seen=payload["sentences_seen"],
+            sentences_new=payload["sentences_new"],
+            core_resolved=payload["core_resolved"],
+            ambiguous_resolved=payload["ambiguous_resolved"],
+            new_pairs=payload["new_pairs"],
+            total_pairs=payload["total_pairs"],
+            iterations_run=payload["iterations_run"],
+            drift=DriftStats.from_dict(payload["drift"]),
+            cleaning=CleaningReport.from_dict(cleaning) if cleaning else None,
+        )
+
+
+class IngestSession:
+    """A durable streaming ingestion session over one growing KB.
+
+    Parameters
+    ----------
+    config:
+        The full pipeline configuration (extraction, similarity and
+        cleaning sections are used).
+    detect_factory:
+        Zero-argument callable returning a fresh detection callback for
+        one cleaning pass — typically ``pipeline.detect_fn`` (see
+        :meth:`repro.experiments.pipeline.Pipeline.session`).
+    policy:
+        Cleaning trigger thresholds; defaults to :class:`IngestPolicy`.
+    analysis:
+        The analysis cache shared with the detection callbacks, so drift
+        telemetry reads the same exclusion index detection refreshes.
+    checkpoint_dir:
+        Where to journal batches and write snapshots.  ``None`` runs an
+        ephemeral in-memory session.
+    checkpoint_every:
+        Snapshot cadence in batches (0 = only on explicit
+        :meth:`checkpoint` calls; the journal alone already makes the
+        session durable).
+    resume:
+        Rebuild state from ``checkpoint_dir`` before accepting batches.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: PipelineConfig,
+        detect_factory: Callable[[], DetectFn],
+        policy: IngestPolicy | None = None,
+        analysis: AnalysisCache | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
+    ) -> None:
+        self._config = config
+        self._detect_factory = detect_factory
+        self._policy = policy or IngestPolicy()
+        self._analysis = analysis or AnalysisCache(
+            similarity=config.similarity
+        )
+        self._extractor = IncrementalExtractor(config.extraction)
+        self._store = (
+            CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        )
+        self._checkpoint_every = checkpoint_every
+        self._seq = 0
+        self._last_snapshot_seq = 0
+        self._since_clean = 0
+        self._cleanings = 0
+        self._reports: list[BatchReport] = []
+        self._drift_totals: dict[str, list[int]] = {}
+        if resume:
+            if self._store is None:
+                raise ServiceError("resume requires a checkpoint_dir")
+            self._restore()
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def kb(self) -> KnowledgeBase:
+        """The session's growing knowledge base."""
+        return self._extractor.kb
+
+    @property
+    def policy(self) -> IngestPolicy:
+        """The cleaning trigger policy in effect."""
+        return self._policy
+
+    @property
+    def reports(self) -> list[BatchReport]:
+        """Per-batch reports in ingest order (replayed ones included)."""
+        return list(self._reports)
+
+    @property
+    def batches_ingested(self) -> int:
+        """Number of committed batches (a resumed session counts replays)."""
+        return len(self._reports)
+
+    @property
+    def cleanings(self) -> int:
+        """Number of cleaning passes run (or replayed) so far."""
+        return self._cleanings
+
+    @property
+    def staleness(self) -> int:
+        """New sentences ingested since the last cleaning pass."""
+        return self._since_clean
+
+    def corpus(self) -> Corpus:
+        """The accumulated de-duplicated corpus."""
+        return self._extractor.corpus()
+
+    def drift_totals(self) -> dict[str, list[int]]:
+        """Cumulative per-concept [new pairs, conflicted] telemetry."""
+        return {
+            concept: list(counts)
+            for concept, counts in self._drift_totals.items()
+        }
+
+    def stats(self) -> dict:
+        """A summary of the session so far."""
+        return {
+            "batches": self.batches_ingested,
+            "cleanings": self._cleanings,
+            "pairs": len(self.kb),
+            "removed_pairs": len(self.kb.removed_pairs()),
+            "unresolved": len(self._extractor.unresolved_sids()),
+            "staleness": self._since_clean,
+            "drift_history": [r.drift.fraction for r in self._reports],
+        }
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        sentences: Corpus | Iterable[Sentence],
+        force_clean: bool = False,
+    ) -> BatchReport:
+        """Ingest one batch; extract, measure drift, maybe clean; commit."""
+        batch = self._extractor.ingest(list(sentences))
+        new_sentences = self._new_batch_sentences(batch)
+        drift = self._drift_stats(batch)
+        self._since_clean += batch.sentences_new
+        decision = self._policy.decide(
+            staleness=self._since_clean,
+            drift=drift.fraction,
+            new_pairs=drift.new_pairs,
+            forced=force_clean,
+        )
+        cleaning = None
+        clean_ops: list[list] = []
+        if decision.clean:
+            cleaning, clean_ops = self._clean(decision.reason)
+            self._since_clean = 0
+            self._cleanings += 1
+        self._seq += 1
+        report = BatchReport(
+            seq=self._seq,
+            index=batch.index,
+            sentences_seen=batch.sentences_seen,
+            sentences_new=batch.sentences_new,
+            core_resolved=batch.core_resolved,
+            ambiguous_resolved=batch.ambiguous_resolved,
+            new_pairs=len(batch.new_pairs),
+            total_pairs=batch.total_pairs,
+            iterations_run=batch.iterations_run,
+            drift=drift,
+            cleaning=cleaning,
+        )
+        self._reports.append(report)
+        self._fold_drift(drift)
+        if self._store is not None:
+            entry = {
+                "seq": self._seq,
+                "type": "batch",
+                "sentences": [sentence_to_json(s) for s in new_sentences],
+                "report": report.to_dict(),
+            }
+            if clean_ops:
+                entry["clean_ops"] = clean_ops
+            self._store.journal.append(entry)
+            due = (
+                self._checkpoint_every > 0
+                and self._seq - self._last_snapshot_seq
+                >= self._checkpoint_every
+            )
+            if due:
+                self.checkpoint()
+        return report
+
+    def _new_batch_sentences(self, batch: BatchExtraction) -> list[Sentence]:
+        """The batch's sentences that survived session-wide dedup.
+
+        The extractor appends exactly the deduplicated survivors to its
+        accumulated corpus, so they are the trailing ``sentences_new``
+        entries — the only sentences the journal needs to carry.
+        """
+        if batch.sentences_new == 0:
+            return []
+        return list(self._extractor.corpus().sentences[-batch.sentences_new:])
+
+    # ------------------------------------------------------------------
+    # Drift telemetry
+    # ------------------------------------------------------------------
+    def _drift_stats(self, batch: BatchExtraction) -> DriftStats:
+        kb = self._extractor.kb
+        if not batch.new_pairs:
+            return DriftStats(new_pairs=0, conflicted=0, fraction=0.0)
+        exclusion = self._analysis.exclusion(kb)
+        per_concept: dict[str, list[int]] = {}
+        conflicted = 0
+        for pair in batch.new_pairs:
+            counts = per_concept.setdefault(pair.concept, [0, 0])
+            counts[0] += 1
+            if pair in kb and exclusion.count_exclusive_containing(
+                kb, pair.concept, pair.instance
+            ):
+                counts[1] += 1
+                conflicted += 1
+        return DriftStats(
+            new_pairs=len(batch.new_pairs),
+            conflicted=conflicted,
+            fraction=conflicted / len(batch.new_pairs),
+            per_concept=per_concept,
+        )
+
+    def _fold_drift(self, drift: DriftStats) -> None:
+        for concept, counts in drift.per_concept.items():
+            totals = self._drift_totals.setdefault(concept, [0, 0])
+            totals[0] += counts[0]
+            totals[1] += counts[1]
+
+    # ------------------------------------------------------------------
+    # Cleaning
+    # ------------------------------------------------------------------
+    def _clean(self, reason: str) -> tuple[CleaningReport, list[list]]:
+        kb = self._extractor.kb
+        engines: list[JournalingRollbackEngine] = []
+
+        def factory(target: KnowledgeBase) -> JournalingRollbackEngine:
+            engine = JournalingRollbackEngine(target)
+            engines.append(engine)
+            return engine
+
+        cleaner = DPCleaner(
+            self._detect_factory(),
+            self._config.cleaning,
+            engine_factory=factory,
+        )
+        version_before = kb.version
+        result = cleaner.clean(kb, self._extractor.corpus())
+        self._extractor.resync_visible(
+            kb.dirty_concepts_since(version_before)
+        )
+        ops = engines[0].ops if engines else []
+        report = CleaningReport(
+            reason=reason,
+            removed_pairs=result.num_removed,
+            records_rolled_back=result.records_rolled_back,
+            rounds=result.rounds,
+            round_stats=[
+                {
+                    "round_index": stats.round_index,
+                    "intentional_dps": stats.intentional_dps,
+                    "accidental_dps": stats.accidental_dps,
+                    "records_rolled_back": stats.records_rolled_back,
+                    "pairs_removed": stats.pairs_removed,
+                    "sentence_checks": len(stats.sentence_checks),
+                }
+                for stats in result.details.get("rounds", [])
+            ],
+        )
+        return report, ops
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Write a snapshot now (and truncate the covered journal)."""
+        if self._store is None:
+            raise ServiceError("session has no checkpoint_dir")
+        self._store.save_snapshot(
+            seq=self._seq,
+            kb=self._extractor.kb,
+            sentences=self._extractor._sentences,
+            meta={
+                "iteration": self._extractor.iteration,
+                "batches": self._extractor.batches,
+                "pool_sids": list(self._extractor.unresolved_sids()),
+                "since_clean": self._since_clean,
+                "cleanings": self._cleanings,
+                "reports": [r.to_dict() for r in self._reports],
+            },
+        )
+        self._last_snapshot_seq = self._seq
+
+    def _restore(self) -> None:
+        """Resume: load the snapshot, then replay the journal tail."""
+        assert self._store is not None
+        snapshot = self._store.load_snapshot()
+        if snapshot is not None:
+            kb, sentences, meta = snapshot
+            self._extractor = IncrementalExtractor(
+                self._config.extraction, kb=kb
+            )
+            self._extractor.restore(
+                sentences,
+                meta["pool_sids"],
+                meta["iteration"],
+                meta["batches"],
+            )
+            self._since_clean = meta["since_clean"]
+            self._cleanings = meta["cleanings"]
+            self._reports = [
+                BatchReport.from_dict(r) for r in meta["reports"]
+            ]
+            for report in self._reports:
+                self._fold_drift(report.drift)
+            self._seq = meta["seq"]
+            self._last_snapshot_seq = meta["seq"]
+        for entry in self._store.journal.entries(after_seq=self._seq):
+            self._replay_entry(entry)
+
+    def _replay_entry(self, entry: dict) -> None:
+        if entry.get("type") != "batch":
+            raise ServiceError(
+                f"unknown journal entry type {entry.get('type')!r}"
+            )
+        report = BatchReport.from_dict(entry["report"])
+        sentences = self._store.load_sentences(entry["sentences"])
+        batch = self._extractor.ingest(sentences)
+        if batch.total_pairs != report.total_pairs:
+            raise ServiceError(
+                f"journal replay diverged at seq {entry['seq']}: "
+                f"extraction produced {batch.total_pairs} pairs, the "
+                f"journal recorded {report.total_pairs} — was the session "
+                "restarted with a different configuration?"
+            )
+        kb = self._extractor.kb
+        if report.cleaning is not None:
+            version_before = kb.version
+            replay_clean_ops(kb, entry.get("clean_ops", []))
+            self._extractor.resync_visible(
+                kb.dirty_concepts_since(version_before)
+            )
+            self._since_clean = 0
+            self._cleanings += 1
+        else:
+            self._since_clean += report.sentences_new
+        self._seq = entry["seq"]
+        self._reports.append(report)
+        self._fold_drift(report.drift)
+
+    def removed_pairs(self) -> frozenset[IsAPair]:
+        """Pairs removed by the session's cleaning passes so far."""
+        return self.kb.removed_pairs()

@@ -11,6 +11,7 @@ from repro.config import CleaningConfig
 from repro.errors import KnowledgeBaseError
 from repro.extraction import SemanticIterativeExtractor
 from repro.kb import IsAPair, KnowledgeBase, RollbackEngine, load_kb, save_kb
+from repro.kb.serialize import SCHEMA_VERSION
 from repro.labeling import DPLabel
 
 
@@ -129,5 +130,59 @@ class TestValidation:
         content = path.read_text().splitlines()
         content[1] = "{broken"
         path.write_text("\n".join(content) + "\n")
+        with pytest.raises(KnowledgeBaseError):
+            load_kb(path)
+
+
+class TestSchemaVersion:
+    def test_header_is_stamped(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        save_kb(_kb(), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema_version"] == SCHEMA_VERSION
+
+    def test_stamped_file_round_trips(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        kb = _kb()
+        save_kb(kb, path)
+        _same_state(kb, load_kb(path))
+
+    def test_schema_mismatch_fails_loudly(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        save_kb(_kb(), path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = SCHEMA_VERSION + 1
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(KnowledgeBaseError, match="schema"):
+            load_kb(path)
+
+    def test_missing_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        save_kb(_kb(), path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["schema_version"]
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(KnowledgeBaseError, match="schema"):
+            load_kb(path)
+
+
+class TestTruncationDetection:
+    def test_truncated_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        save_kb(_kb(), path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(KnowledgeBaseError, match="truncated"):
+            load_kb(path)
+
+    def test_padded_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        save_kb(_kb(), path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines + [lines[-1]]) + "\n")
         with pytest.raises(KnowledgeBaseError):
             load_kb(path)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the streaming-service tests.
+
+One small pipeline configuration used everywhere, so the batch reference
+run and the streaming/crash-resume runs are always comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.pipeline import Pipeline, experiment_config
+from repro.world.presets import paper_world
+
+
+SCALE = 0.5
+SENTENCES = 1500
+SEED = 20140324
+
+
+def make_pipeline() -> Pipeline:
+    """A fresh small pipeline (independent caches, identical corpus)."""
+    preset = paper_world(seed=SEED, scale=SCALE)
+    config = experiment_config(
+        num_sentences=SENTENCES, seed=SEED, profiles=preset.profiles
+    )
+    return Pipeline(preset=preset, config=config)
+
+
+@pytest.fixture(scope="session")
+def service_corpus():
+    return make_pipeline().corpus()

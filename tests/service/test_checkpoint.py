@@ -1,0 +1,100 @@
+"""Tests for the checkpoint store (snapshots + journal lifecycle)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus import Sentence
+from repro.errors import ServiceError
+from repro.kb import KnowledgeBase
+from repro.service import CheckpointStore
+from repro.service.checkpoint import CHECKPOINT_VERSION
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_extraction(0, "animal", ("dog", "cat"), iteration=1)
+    return kb
+
+
+def _sentences() -> list[Sentence]:
+    return [
+        Sentence(
+            sid=0, surface="animals such as dog and cat",
+            concepts=("animal",), instances=("dog", "cat"),
+        ),
+        Sentence(
+            sid=1, surface="food from animals such as pork",
+            concepts=("food", "animal"), instances=("pork",),
+        ),
+    ]
+
+
+class TestCheckpointStore:
+    def test_empty_store_has_no_state(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        assert not store.has_state()
+        assert store.load_snapshot() is None
+
+    def test_journal_alone_counts_as_state(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.journal.append({"seq": 1, "type": "batch"})
+        assert store.has_state()
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        kb = _kb()
+        store.save_snapshot(
+            seq=3, kb=kb, sentences=_sentences(), meta={"iteration": 2}
+        )
+        loaded = store.load_snapshot()
+        assert loaded is not None
+        loaded_kb, sentences, meta = loaded
+        assert set(loaded_kb.pairs()) == set(kb.pairs())
+        assert [s.sid for s in sentences] == [0, 1]
+        assert sentences[1].concepts == ("food", "animal")
+        assert meta["seq"] == 3
+        assert meta["iteration"] == 2
+        assert meta["checkpoint_version"] == CHECKPOINT_VERSION
+
+    def test_snapshot_resets_journal(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.journal.append({"seq": 1, "type": "batch"})
+        store.save_snapshot(seq=1, kb=_kb(), sentences=[], meta={})
+        assert list(store.journal.entries()) == []
+
+    def test_new_snapshot_replaces_old(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_snapshot(seq=1, kb=_kb(), sentences=[], meta={})
+        store.save_snapshot(seq=2, kb=_kb(), sentences=[], meta={})
+        _, _, meta = store.load_snapshot()
+        assert meta["seq"] == 2
+        snapshots = [
+            p.name for p in store.directory.glob("snapshot-*") if p.is_dir()
+        ]
+        assert snapshots == ["snapshot-2"]
+
+    def test_dangling_current_pointer_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        (store.directory / "CURRENT").write_text("snapshot-9\n")
+        with pytest.raises(ServiceError):
+            store.load_snapshot()
+
+    def test_wrong_checkpoint_version_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_snapshot(seq=1, kb=_kb(), sentences=[], meta={})
+        snapshot = store.directory / "snapshot-1"
+        meta = json.loads((snapshot / "META.json").read_text())
+        meta["checkpoint_version"] = 99
+        (snapshot / "META.json").write_text(json.dumps(meta))
+        with pytest.raises(ServiceError):
+            store.load_snapshot()
+
+    def test_corrupt_meta_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_snapshot(seq=1, kb=_kb(), sentences=[], meta={})
+        (store.directory / "snapshot-1" / "META.json").write_text("{broken")
+        with pytest.raises(ServiceError):
+            store.load_snapshot()

@@ -1,0 +1,131 @@
+"""Tests for the redo journal and journaled cleaning operations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.kb import IsAPair, KnowledgeBase, RollbackEngine
+from repro.service import Journal, JournalingRollbackEngine, replay_clean_ops
+
+
+def _entry(seq: int, **extra) -> dict:
+    return {"seq": seq, "type": "batch", **extra}
+
+
+class TestJournal:
+    def test_append_and_replay(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(_entry(1, payload="a"))
+        journal.append(_entry(2, payload="b"))
+        entries = list(journal.entries())
+        assert [e["seq"] for e in entries] == [1, 2]
+        assert entries[0]["payload"] == "a"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = Journal(tmp_path / "absent.jsonl")
+        assert list(journal.entries()) == []
+
+    def test_entry_without_seq_rejected(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        with pytest.raises(ServiceError):
+            journal.append({"type": "batch"})
+
+    def test_seq_guard_skips_covered_entries(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        for seq in (1, 2, 3):
+            journal.append(_entry(seq))
+        assert [e["seq"] for e in journal.entries(after_seq=2)] == [3]
+
+    def test_torn_tail_dropped_silently(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(_entry(1))
+        journal.append(_entry(2))
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "type": "bat')  # crash mid-append
+        assert [e["seq"] for e in journal.entries()] == [1, 2]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(_entry(1))
+        journal.append(_entry(2))
+        lines = journal.path.read_text().splitlines()
+        lines[0] = "{broken"
+        journal.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ServiceError):
+            list(journal.entries())
+
+    def test_reset_drops_everything(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(_entry(1))
+        journal.reset()
+        assert list(journal.entries()) == []
+
+    def test_truncate_last_entry(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(_entry(1))
+        journal.append(_entry(2))
+        assert journal.truncate_last_entry()
+        assert [e["seq"] for e in journal.entries()] == [1]
+        assert journal.truncate_last_entry()
+        assert not journal.truncate_last_entry()
+
+    def test_entries_are_compact_json_lines(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(_entry(1, payload=[1, 2]))
+        line = journal.path.read_text().splitlines()[0]
+        assert json.loads(line) == {"seq": 1, "type": "batch",
+                                    "payload": [1, 2]}
+
+
+def _kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_extraction(0, "animal", ("dog", "chicken"), iteration=1)
+    kb.add_extraction(1, "food", ("pork", "beef"), iteration=1)
+    chicken = IsAPair("animal", "chicken")
+    kb.add_extraction(
+        2, "animal", ("pork", "beef"), triggers=(chicken,), iteration=2
+    )
+    return kb
+
+
+class TestJournalingRollbackEngine:
+    def test_records_top_level_ops_only(self):
+        kb = _kb()
+        engine = JournalingRollbackEngine(kb)
+        engine.rollback_pair(IsAPair("animal", "chicken"))
+        # The pair rollback cascades into record rollbacks internally,
+        # but only the top-level request is journaled.
+        assert engine.ops == [["pair", "animal", "chicken"]]
+
+    def test_records_record_rollbacks(self):
+        kb = _kb()
+        engine = JournalingRollbackEngine(kb)
+        engine.rollback_records([1])
+        assert engine.ops == [["records", [1]]]
+
+    def test_replay_reproduces_mutations(self):
+        live = _kb()
+        engine = JournalingRollbackEngine(live)
+        engine.rollback_pair(IsAPair("animal", "chicken"))
+        engine.rollback_records([1])
+
+        replayed = _kb()
+        replay_clean_ops(replayed, engine.ops)
+        assert set(live.pairs()) == set(replayed.pairs())
+        assert live.removed_pairs() == replayed.removed_pairs()
+        assert live.version == replayed.version
+
+    def test_replay_matches_plain_engine(self):
+        reference = _kb()
+        RollbackEngine(reference).rollback_pair(IsAPair("animal", "chicken"))
+        replayed = _kb()
+        replay_clean_ops(replayed, [["pair", "animal", "chicken"]])
+        assert set(reference.pairs()) == set(replayed.pairs())
+        assert reference.version == replayed.version
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ServiceError):
+            replay_clean_ops(_kb(), [["warp", 1]])

@@ -1,0 +1,159 @@
+"""Tests for the streaming ingestion session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import IngestPolicy
+
+from .conftest import make_pipeline
+
+
+@pytest.fixture(scope="module")
+def quiet_session_run(service_corpus):
+    """One four-batch run with cleaning disabled, reused read-only."""
+    pipeline = make_pipeline()
+    session = pipeline.session(policy=IngestPolicy.never())
+    reports = [session.ingest(b) for b in service_corpus.batches(400)]
+    return session, reports
+
+
+class TestIngest:
+    def test_batches_accumulate(self, quiet_session_run, service_corpus):
+        session, reports = quiet_session_run
+        assert session.batches_ingested == len(reports)
+        assert [r.index for r in reports] == list(range(len(reports)))
+        assert [r.seq for r in reports] == list(
+            range(1, len(reports) + 1)
+        )
+        total_new = sum(r.sentences_new for r in reports)
+        assert total_new == len(session.corpus())
+        assert total_new <= len(service_corpus)
+        assert len(session.kb) > 0
+
+    def test_duplicates_skipped_across_batches(self, quiet_session_run,
+                                               service_corpus):
+        session, _ = quiet_session_run
+        pipeline = make_pipeline()
+        replayed = pipeline.session(policy=IngestPolicy.never())
+        replayed.ingest(service_corpus)
+        report = replayed.ingest(service_corpus)  # everything is a dup now
+        assert report.sentences_new == 0
+        assert report.new_pairs == 0
+        assert report.drift.fraction == 0.0
+
+    def test_staleness_accumulates_without_cleaning(self, quiet_session_run):
+        session, reports = quiet_session_run
+        assert session.staleness == sum(r.sentences_new for r in reports)
+        assert session.cleanings == 0
+        assert all(r.cleaning is None for r in reports)
+
+    def test_drift_telemetry_populated(self, quiet_session_run):
+        session, reports = quiet_session_run
+        # The synthetic world plants drifting errors, so some fraction of
+        # new pairs must land in mutually exclusive concepts.
+        assert any(r.drift.conflicted > 0 for r in reports)
+        for report in reports:
+            drift = report.drift
+            assert 0.0 <= drift.fraction <= 1.0
+            assert drift.conflicted <= drift.new_pairs
+            assert sum(c[0] for c in drift.per_concept.values()) == (
+                drift.new_pairs
+            )
+            assert sum(c[1] for c in drift.per_concept.values()) == (
+                drift.conflicted
+            )
+        totals = session.drift_totals()
+        assert sum(c[1] for c in totals.values()) == sum(
+            r.drift.conflicted for r in reports
+        )
+
+    def test_stats_summary(self, quiet_session_run):
+        session, reports = quiet_session_run
+        stats = session.stats()
+        assert stats["batches"] == len(reports)
+        assert stats["cleanings"] == 0
+        assert stats["pairs"] == len(session.kb)
+        assert stats["drift_history"] == [
+            r.drift.fraction for r in reports
+        ]
+
+
+class TestCleaningTriggers:
+    def test_staleness_trigger_fires_and_resets(self, service_corpus):
+        pipeline = make_pipeline()
+        session = pipeline.session(
+            policy=IngestPolicy(staleness_threshold=700,
+                                drift_threshold=None)
+        )
+        reports = [session.ingest(b) for b in service_corpus.batches(400)]
+        reasons = [r.cleaning.reason for r in reports if r.cleaning]
+        assert "staleness" in reasons
+        # The counter resets after each pass, so no two consecutive
+        # batches can both fire on staleness with a 700 threshold.
+        fired = [r.cleaning is not None for r in reports]
+        assert not any(a and b for a, b in zip(fired, fired[1:]))
+        assert session.cleanings == len(reasons)
+        assert len(session.kb.removed_pairs()) > 0
+
+    def test_drift_trigger_fires(self, service_corpus):
+        pipeline = make_pipeline()
+        session = pipeline.session(
+            policy=IngestPolicy(staleness_threshold=None,
+                                drift_threshold=0.05, min_new_pairs=10)
+        )
+        report = session.ingest(next(service_corpus.batches(600)))
+        assert report.cleaning is not None
+        assert report.cleaning.reason == "drift"
+        assert report.cleaning.removed_pairs > 0
+        assert report.cleaning.rounds >= 1
+        assert len(report.cleaning.round_stats) == report.cleaning.rounds
+
+    def test_forced_clean(self, service_corpus):
+        pipeline = make_pipeline()
+        session = pipeline.session(policy=IngestPolicy.never())
+        report = session.ingest(
+            next(service_corpus.batches(600)), force_clean=True
+        )
+        assert report.cleaning is not None
+        assert report.cleaning.reason == "forced"
+        assert session.staleness == 0
+
+
+class TestDurabilityGuards:
+    def test_resume_requires_checkpoint_dir(self):
+        pipeline = make_pipeline()
+        with pytest.raises(ServiceError):
+            pipeline.session(resume=True)
+
+    def test_checkpoint_requires_store(self):
+        pipeline = make_pipeline()
+        session = pipeline.session()
+        with pytest.raises(ServiceError):
+            session.checkpoint()
+
+    def test_resume_from_empty_dir_starts_fresh(self, tmp_path):
+        pipeline = make_pipeline()
+        session = pipeline.session(
+            checkpoint_dir=tmp_path / "ckpt", resume=True
+        )
+        assert session.batches_ingested == 0
+
+    def test_replay_divergence_detected(self, tmp_path, service_corpus):
+        ckpt = tmp_path / "ckpt"
+        pipeline = make_pipeline()
+        session = pipeline.session(
+            policy=IngestPolicy.never(), checkpoint_dir=ckpt
+        )
+        session.ingest(next(service_corpus.batches(300)))
+        # Tamper with the journaled outcome: replay must notice the
+        # extraction no longer reproduces it.
+        import json
+
+        path = ckpt / "journal.jsonl"
+        entry = json.loads(path.read_text().splitlines()[0])
+        entry["report"]["total_pairs"] += 1
+        path.write_text(json.dumps(entry) + "\n")
+        with pytest.raises(ServiceError, match="diverged"):
+            make_pipeline().session(checkpoint_dir=ckpt, resume=True)

@@ -32,6 +32,37 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestIngestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["ingest"])
+        assert args.corpus is None
+        assert args.batch_size == 500
+        assert args.staleness == 5000
+        assert args.drift_threshold == 0.05
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_every == 1
+        assert not args.resume
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["ingest", "corpus.jsonl", "--batch-size", "200",
+             "--staleness", "-1", "--drift-threshold", "0.2",
+             "--checkpoint-dir", "state", "--checkpoint-every", "3",
+             "--resume", "--scale", "0.5", "--sentences", "1000",
+             "--seed", "9"]
+        )
+        assert args.corpus == "corpus.jsonl"
+        assert args.batch_size == 200
+        assert args.staleness == -1
+        assert args.drift_threshold == 0.2
+        assert args.checkpoint_dir == "state"
+        assert args.checkpoint_every == 3
+        assert args.resume
+        assert args.scale == 0.5
+        assert args.sentences == 1000
+        assert args.seed == 9
+
+
 class TestMain:
     def test_list(self, capsys):
         assert main(["list"]) == 0
@@ -47,6 +78,45 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Fig. 4" in out
         assert "finished in" in out
+
+    def test_ingest_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["ingest", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_ingest_synthetic_end_to_end(self, capsys, tmp_path):
+        ckpt = tmp_path / "state"
+        argv = ["ingest", "--scale", "0.5", "--sentences", "1200",
+                "--batch-size", "400", "--staleness", "700",
+                "--drift-threshold", "-1",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "batch 0:" in out
+        assert "cleaned (staleness)" in out
+        assert (ckpt / "CURRENT").exists()
+        # Resuming after completion skips every batch and converges.
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed:" in out
+
+    def test_ingest_corpus_file(self, capsys, tmp_path):
+        from repro.experiments.pipeline import Pipeline, experiment_config
+        from repro.world.presets import paper_world
+
+        preset = paper_world(seed=20140324, scale=0.5)
+        config = experiment_config(num_sentences=800,
+                                   profiles=preset.profiles)
+        corpus = Pipeline(preset=preset, config=config).corpus()
+        path = tmp_path / "corpus.jsonl"
+        corpus.dump_jsonl(path)
+        code = main(
+            ["ingest", str(path), "--scale", "0.5", "--batch-size", "400",
+             "--staleness", "-1", "--drift-threshold", "-1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch 0: +400 sentences" in out
+        assert '"cleanings": 0' in out
 
     def test_output_files_written(self, capsys, tmp_path):
         import json
