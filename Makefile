@@ -4,10 +4,14 @@
 PYTEST := PYTHONPATH=src python -m pytest
 DATE   := $(shell date +%Y-%m-%d)
 
-.PHONY: test bench bench-substrates bench-ingest bench-compare
+.PHONY: test lint bench bench-substrates bench-ingest bench-compare
 
-test:
+test: lint
 	$(PYTEST) -x -q
+
+# Static checks: the package's import-direction rules (DESIGN.md §8).
+lint:
+	python scripts/check_layering.py
 
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only \

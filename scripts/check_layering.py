@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Enforce the repro package's import-direction rules.
+
+The package is layered (DESIGN.md §8): a module may import from its own
+layer or any layer below it, never from above.  This script walks every
+module's AST, resolves intra-package imports to their top-level member
+(``repro.cleaning.dp_cleaner`` → ``cleaning``) and fails — listing every
+offending import — when an import points to a higher layer.
+
+Run directly (``python scripts/check_layering.py``) or through ``make
+lint``; the tier-1 suite also exercises it (``tests/test_layering.py``),
+including the failure path on a seeded violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+#: member → layer.  A member is a top-level module or subpackage of
+#: ``repro``.  Same-or-lower-layer imports are allowed; upward imports
+#: are violations.  New members must be registered here — unknown
+#: members are reported too, so the map cannot silently rot.
+LAYERS: dict[str, int] = {
+    # L0 — foundation: no intra-package imports at all.
+    "errors": 0,
+    "config": 0,
+    "rng": 0,
+    "runtime": 0,
+    # L1 — simulation primitives.
+    "nlp": 1,
+    "world": 1,
+    # L2 — corpus synthesis.
+    "corpus": 2,
+    # L3 — the knowledge base.
+    "kb": 3,
+    # L4 — extraction over corpus + KB.
+    "extraction": 4,
+    # L5 — analysis substrate over the extracted KB.
+    "ranking": 5,
+    "concepts": 5,
+    "features": 5,
+    "labeling": 5,
+    "learning": 5,
+    "analysis": 5,
+    "evaluation": 5,
+    # L6 — cleaning consumes the whole analysis substrate.
+    "cleaning": 6,
+    # L7 — orchestration.
+    "service": 7,
+    "experiments": 7,
+    # L8 — front-ends.
+    "cli": 8,
+    "__main__": 8,
+    "__init__": 8,
+}
+
+
+def _module_parts(path: Path, root: Path) -> list[str]:
+    """Dotted-path components of a source file relative to the package.
+
+    ``cleaning/baselines/rw_rank.py`` → ``["cleaning", "baselines",
+    "rw_rank"]``; ``cleaning/__init__.py`` → ``["cleaning", "__init__"]``.
+    """
+    relative = path.relative_to(root)
+    parts = list(relative.parts)
+    parts[-1] = parts[-1][:-3]
+    return parts
+
+
+def _imported_members(
+    tree: ast.Module, parts: list[str]
+) -> list[tuple[int, str]]:
+    """(line, member) for every intra-package import in a module.
+
+    Relative imports resolve against the module's real package path, so
+    ``from ..base import X`` inside ``cleaning/baselines/`` correctly
+    lands on ``cleaning`` (same member) rather than a sibling.
+    """
+    # The package a level-1 relative import resolves against (for an
+    # __init__ module, parts ends in "__init__", so this is the package
+    # directory itself — matching Python's resolution rules).
+    package = parts[:-1]
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if node.module and node.module.split(".")[0] == "repro":
+                    tail = node.module.split(".")[1:]
+                    resolved = tail or [alias.name for alias in node.names]
+                    for name in resolved[:1] if tail else resolved:
+                        found.append((node.lineno, name))
+                continue
+            base = package[: len(package) - (node.level - 1)]
+            tail = node.module.split(".") if node.module else []
+            resolved = base + tail
+            if resolved:
+                found.append((node.lineno, resolved[0]))
+            else:
+                # 'from .. import x' reaching the package root: each
+                # imported name is itself a top-level member.
+                for alias in node.names:
+                    found.append((node.lineno, alias.name))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                dotted = alias.name.split(".")
+                if dotted[0] == "repro" and len(dotted) > 1:
+                    found.append((node.lineno, dotted[1]))
+    return found
+
+
+def check_layering(root: Path) -> list[str]:
+    """All layering violations under ``root`` (the ``repro`` package dir)."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        parts = _module_parts(path, root)
+        member = parts[0]
+        layer = LAYERS.get(member)
+        if layer is None:
+            violations.append(
+                f"{path}: member {member!r} is not registered in "
+                "scripts/check_layering.py LAYERS"
+            )
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for lineno, imported in _imported_members(tree, parts):
+            if imported == member:
+                continue
+            imported_layer = LAYERS.get(imported)
+            if imported_layer is None:
+                violations.append(
+                    f"{path}:{lineno}: imports unregistered member "
+                    f"{imported!r} (add it to LAYERS)"
+                )
+            elif imported_layer > layer:
+                violations.append(
+                    f"{path}:{lineno}: {member} (L{layer}) imports "
+                    f"{imported} (L{imported_layer}) — upward import"
+                )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "src" / "repro",
+        help="the repro package directory to check",
+    )
+    args = parser.parse_args(argv)
+    violations = check_layering(args.root)
+    if violations:
+        print(f"{len(violations)} layering violation(s):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"layering OK ({args.root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

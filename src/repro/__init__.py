@@ -15,14 +15,22 @@ The library builds every system the paper's evaluation depends on:
 * DP-based cleaning with cascading rollback and the four §5.3 comparison
   cleaners (:mod:`repro.cleaning`);
 * metrics and one runner per table/figure (:mod:`repro.evaluation`,
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`);
+* a structured run context threaded through every stage — typed event
+  bus, span tracing and shared resources (:mod:`repro.runtime`).
 
 Quickstart::
 
     from repro import Pipeline, run_experiment
 
     result = run_experiment("table3", pipeline=Pipeline())
-    print(result.text)
+    report = result.text  # formatted table, ready to render
+
+The library itself never writes to stdout: stages emit typed events and
+spans through their :class:`~repro.runtime.context.RunContext`, and the
+CLI (or any other front-end) subscribes to the bus and renders what it
+wants.  Pass ``Pipeline().run(trace="out.jsonl")`` — or ``repro run
+<experiment> --trace out.jsonl`` — to export the span tree.
 """
 
 from .cleaning import (
@@ -56,6 +64,7 @@ from .extraction import SemanticIterativeExtractor
 from .kb import IsAPair, KnowledgeBase, RollbackEngine
 from .labeling import DPLabel, EvidenceIndex, SeedLabeler
 from .learning import DPDetector
+from .runtime import NULL_CONTEXT, Event, EventBus, RunContext, Tracer
 from .service import CheckpointStore, IngestPolicy, IngestSession
 from .world import World, WorldBuilder, motivating_example_world, paper_world, toy_world
 
@@ -71,6 +80,8 @@ __all__ = [
     "DPDetector",
     "DPLabel",
     "DetectorConfig",
+    "Event",
+    "EventBus",
     "EvidenceIndex",
     "ExtractionConfig",
     "CheckpointStore",
@@ -81,6 +92,7 @@ __all__ = [
     "KnowledgeBase",
     "LabelingConfig",
     "MutualExclusionCleaner",
+    "NULL_CONTEXT",
     "PRDualRankCleaner",
     "Pipeline",
     "PipelineArtifacts",
@@ -88,6 +100,8 @@ __all__ = [
     "RWRankCleaner",
     "ReproError",
     "RollbackEngine",
+    "RunContext",
+    "Tracer",
     "SeedLabeler",
     "SemanticIterativeExtractor",
     "Sentence",

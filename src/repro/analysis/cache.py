@@ -58,6 +58,7 @@ from ..labeling.evidence import EvidenceIndex
 from ..labeling.rules import SeedLabeler, SeedLabelSet
 from ..labeling.labels import SeedLabel
 from ..learning.detector import DetectorRefitCache
+from ..runtime.context import NULL_CONTEXT, RunContext
 
 __all__ = ["AnalysisCache"]
 
@@ -98,8 +99,15 @@ class AnalysisCache:
     built for detection is the one the cleaner's guards query.
     """
 
-    def __init__(self, similarity: SimilarityConfig | None = None) -> None:
+    def __init__(
+        self,
+        similarity: SimilarityConfig | None = None,
+        context: RunContext | None = None,
+    ) -> None:
         self._similarity = similarity or SimilarityConfig()
+        # Instrumentation only (hit/miss/refresh counters per cache
+        # family); the context never influences what the cache returns.
+        self._ctx = context or NULL_CONTEXT
         self._states: weakref.WeakKeyDictionary[KnowledgeBase, _KBState] = (
             weakref.WeakKeyDictionary()
         )
@@ -119,8 +127,10 @@ class AnalysisCache:
         state = self._state(kb)
         if state.exclusion is None:
             state.exclusion = MutualExclusionIndex(kb, self._similarity)
+            self._ctx.count("analysis.exclusion.build")
         else:
             state.exclusion.refresh()
+            self._ctx.count("analysis.exclusion.refresh")
         return state.exclusion
 
     # ------------------------------------------------------------------
@@ -146,12 +156,15 @@ class AnalysisCache:
         if exclusion is None:
             raise RuntimeError("call exclusion() before matrices()")
         result: dict[str, ConceptMatrix] = {}
+        ctx = self._ctx
         for concept in concepts:
             signature = self._matrix_signature(kb, exclusion, concept, state)
             entry = state.matrices.get(concept)
             if entry is not None and entry[0] == signature:
+                ctx.count("analysis.matrices.hit")
                 result[concept] = entry[1]
                 continue
+            ctx.count("analysis.matrices.miss")
             names, x = features.feature_matrix(concept)
             matrix = ConceptMatrix(concept=concept, instances=names, x=x)
             if (
@@ -159,6 +172,7 @@ class AnalysisCache:
                 and entry[1].instances == matrix.instances
                 and np.array_equal(entry[1].x, matrix.x)
             ):
+                ctx.count("analysis.matrices.identical_rebuild")
                 matrix = entry[1]
             state.matrices[concept] = (signature, matrix)
             result[concept] = matrix
@@ -207,13 +221,17 @@ class AnalysisCache:
         per concept, re-seeded identically on every call).
         """
         state = self._state(kb)
+        ctx = self._ctx
         union: set[IsAPair] = set()
         for concept in concepts:
             version = kb.concept_version(concept)
             entry = state.verified.get(concept)
             if entry is None or entry[0] != version:
+                ctx.count("analysis.verified.miss")
                 entry = (version, sampler(kb, concept))
                 state.verified[concept] = entry
+            else:
+                ctx.count("analysis.verified.hit")
             union |= entry[1]
         return frozenset(union)
 
@@ -245,6 +263,7 @@ class AnalysisCache:
             if version == kb.concept_version(concept)
         }
         if primed:
+            self._ctx.count("analysis.correct.primed", len(primed))
             index.prime_correct(primed)
         return index
 
@@ -262,6 +281,7 @@ class AnalysisCache:
             raise RuntimeError("call exclusion() before seeds()")
         labeler = SeedLabeler(kb, exclusion, evidence, rule3_mode=rule3_mode)
         result = SeedLabelSet()
+        ctx = self._ctx
         for concept in concepts:
             base = self._matrix_signature(kb, exclusion, concept, state)
             entry = state.seeds.get(concept)
@@ -271,9 +291,11 @@ class AnalysisCache:
                 if entry[2] == self._claimant_signature(
                     kb, exclusion, entry[1]
                 ):
+                    ctx.count("analysis.seeds.hit")
                     for label in entry[3]:
                         result.add(label)
                     continue
+            ctx.count("analysis.seeds.miss")
             labels = labeler.label_concept(concept)
             subs = self._correct_subs(kb, evidence, concept)
             state.seeds[concept] = (

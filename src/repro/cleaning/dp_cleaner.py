@@ -29,6 +29,8 @@ from ..kb.rollback import RollbackEngine
 from ..kb.store import KnowledgeBase
 from ..labeling.labels import DPLabel
 from ..ranking.random_walk import RandomWalkRanker
+from ..runtime.context import NULL_CONTEXT, RunContext
+from ..runtime.events import CleaningRound
 from .base import BaseCleaner, CleaningResult
 from .intentional import SentenceCheck, build_check, score_sentence
 
@@ -66,9 +68,18 @@ class DPCleaner(BaseCleaner):
         ranker: RandomWalkRanker | None = None,
         use_cache: bool = True,
         engine_factory: Callable[[KnowledgeBase], RollbackEngine] | None = None,
+        context: RunContext | None = None,
     ) -> None:
         self._detect_fn = detect_fn
         self._config = config or CleaningConfig()
+        # A pipeline-minted detection callback carries the run's context
+        # (see Pipeline.detect_fn); inheriting it puts the cleaner's
+        # spans/events on the same trace and — crucially — resolves the
+        # shared per-KB MutualExclusionIndex through the same registry,
+        # so one session can never hold two divergent indexes.
+        if context is None:
+            context = getattr(detect_fn, "context", None)
+        self._ctx = context or NULL_CONTEXT
         # The streaming service journals cleaning outcomes by injecting a
         # rollback engine that records the semantic operations it is asked
         # to perform (see repro.service.journal); anything exposing
@@ -103,12 +114,43 @@ class DPCleaner(BaseCleaner):
         engine = self._engine_factory(kb)
         rounds: list[RoundStats] = []
         total_rolled = 0
-        for round_index in range(1, self._config.max_cleaning_rounds + 1):
-            stats = self._run_round(kb, by_sid, engine, round_index)
-            rounds.append(stats)
-            total_rolled += stats.records_rolled_back
-            if stats.pairs_removed == 0 and stats.records_rolled_back == 0:
-                break
+        ctx = self._ctx
+        with ctx.span("clean", method=self.name) as span:
+            for round_index in range(
+                1, self._config.max_cleaning_rounds + 1
+            ):
+                with ctx.span(
+                    "clean.round", round=round_index
+                ) as round_span:
+                    stats = self._run_round(kb, by_sid, engine, round_index)
+                    round_span.add("intentional_dps", stats.intentional_dps)
+                    round_span.add("accidental_dps", stats.accidental_dps)
+                    round_span.add("pairs_removed", stats.pairs_removed)
+                    round_span.add(
+                        "records_rolled_back", stats.records_rolled_back
+                    )
+                    round_span.add(
+                        "sentence_checks", len(stats.sentence_checks)
+                    )
+                rounds.append(stats)
+                total_rolled += stats.records_rolled_back
+                ctx.emit(
+                    CleaningRound(
+                        round_index=round_index,
+                        intentional_dps=stats.intentional_dps,
+                        accidental_dps=stats.accidental_dps,
+                        pairs_removed=stats.pairs_removed,
+                        records_rolled_back=stats.records_rolled_back,
+                        sentence_checks=len(stats.sentence_checks),
+                    )
+                )
+                if (
+                    stats.pairs_removed == 0
+                    and stats.records_rolled_back == 0
+                ):
+                    break
+            span.add("rounds", len(rounds))
+            span.add("records_rolled_back", total_rolled)
         return self._result(
             self.name,
             before,
@@ -147,14 +189,27 @@ class DPCleaner(BaseCleaner):
         stats.intentional_dps = len(intentional)
 
         # Scores for Eq. 21 checks and for the weaker-side test below.
-        # The detection callback may publish the exclusion index it just
-        # built/refreshed over this very KB (see Pipeline.detect_fn);
-        # reusing it skips a full similarity-index rebuild per round.
-        exclusion = None
-        if self._use_cache:
+        # The canonical per-KB exclusion index lives in the run context's
+        # shared-resource registry: the detection callback registers the
+        # index it just built/refreshed over this very KB (see
+        # Pipeline.detect_fn), and resolving it here guarantees detection
+        # and the cleaner's guards consult the *same* index.  The callback
+        # attribute remains as a fallback for bare callbacks without a
+        # context; only when neither side published one is a fresh index
+        # built (and registered, so later rounds and co-components share
+        # it).
+        exclusion = self._ctx.resources.get("exclusion", kb)
+        if exclusion is not None:
+            # No-op when the detection callback just refreshed it; brings
+            # a registry entry from an earlier round up to date otherwise
+            # (refresh == rebuild is pinned by the concepts property
+            # tests).
+            exclusion.refresh()
+        if exclusion is None and self._use_cache:
             exclusion = getattr(self._detect_fn, "exclusion_index", None)
         if exclusion is None:
             exclusion = MutualExclusionIndex(kb)
+            self._ctx.resources.put("exclusion", kb, exclusion)
         relevant = {pair.concept for pair in intentional}
         relevant.update(pair.concept for pair in accidental)
         for pair in accidental:

@@ -31,6 +31,7 @@ from pathlib import Path
 from .corpus.corpus import Corpus
 from .experiments.pipeline import Pipeline, experiment_config
 from .experiments.registry import experiment_names, run_experiment
+from .runtime.events import BatchIngested, SessionResumed
 from .service.policy import IngestPolicy
 from .world.presets import paper_world
 
@@ -67,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument(
         "--output", type=str, default=None,
         help="directory to write <experiment>.json / <experiment>.txt into",
+    )
+    runner.add_argument(
+        "--trace", type=str, default=None,
+        help=(
+            "JSONL file to export the run's span tree to (with 'all', one "
+            "file per experiment, suffixed with the experiment name)"
+        ),
     )
     sub.add_parser("list", help="list available experiments")
     ingest = sub.add_parser(
@@ -125,6 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--seed", type=int, default=20140324, help="pipeline seed",
     )
+    ingest.add_argument(
+        "--trace", type=str, default=None,
+        help="JSONL file to export the session's span tree to",
+    )
     return parser
 
 
@@ -138,11 +150,40 @@ def _make_pipeline(args: argparse.Namespace) -> Pipeline:
     return Pipeline(preset=preset, config=config)
 
 
+def _print_resumed(event: SessionResumed) -> None:
+    if event.batches:
+        print(f"resumed: {event.batches} batches already ingested")
+
+
+def _print_batch(event: BatchIngested) -> None:
+    if event.replayed:
+        return
+    line = (
+        f"batch {event.index}: +{event.sentences_new} sentences, "
+        f"+{event.new_pairs} pairs, drift {event.drift_fraction:.3f}"
+    )
+    if event.cleaned:
+        line += (
+            f" -> cleaned ({event.clean_reason}): "
+            f"-{event.removed_pairs} pairs"
+        )
+    print(line)
+
+
 def _run_ingest(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
     pipeline = _make_pipeline(args)
+    if args.trace:
+        pipeline.context.ensure_tracer()
+    # The per-batch progress lines are rendered off the session's event
+    # bus — the CLI is just one more subscriber to the same telemetry the
+    # cleaning policy consumes.  Subscribe before the session is built so
+    # the resume notice (emitted during restore) is seen too.
+    bus = pipeline.context.bus
+    bus.subscribe(SessionResumed, _print_resumed)
+    bus.subscribe(BatchIngested, _print_batch)
     corpus = (
         Corpus.load_jsonl(args.corpus) if args.corpus else pipeline.corpus()
     )
@@ -162,24 +203,14 @@ def _run_ingest(args: argparse.Namespace) -> int:
         resume=args.resume,
     )
     skip = session.batches_ingested
-    if skip:
-        print(f"resumed: {skip} batches already ingested")
     for index, batch in enumerate(corpus.batches(args.batch_size)):
         if index < skip:
             continue
-        report = session.ingest(batch)
-        line = (
-            f"batch {report.index}: +{report.sentences_new} sentences, "
-            f"+{report.new_pairs} pairs, drift {report.drift.fraction:.3f}"
-        )
-        if report.cleaning is not None:
-            line += (
-                f" -> cleaned ({report.cleaning.reason}): "
-                f"-{report.cleaning.removed_pairs} pairs"
-            )
-        print(line)
+        session.ingest(batch)
     if args.checkpoint_dir:
         session.checkpoint()
+    if args.trace:
+        pipeline.context.export_trace(args.trace)
     print(json.dumps(session.stats(), indent=2))
     return 0
 
@@ -197,11 +228,21 @@ def main(argv: list[str] | None = None) -> int:
     output_dir = Path(args.output) if args.output else None
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = Path(args.trace) if getattr(args, "trace", None) else None
     for name in names:
         pipeline = _make_pipeline(args)
+        if trace_path is not None:
+            pipeline.context.ensure_tracer()
         started = time.time()
         result = run_experiment(name, pipeline=pipeline)
         elapsed = time.time() - started
+        if trace_path is not None:
+            target = trace_path
+            if len(names) > 1:
+                target = trace_path.with_name(
+                    f"{trace_path.stem}-{name}{trace_path.suffix}"
+                )
+            pipeline.context.export_trace(target)
         print(f"== {result.title} ==")
         print(result.text)
         print(f"[{name} finished in {elapsed:.1f}s]")

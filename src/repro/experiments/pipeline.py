@@ -28,6 +28,7 @@ from ..learning.detector import DPDetector
 from ..nlp.ner import SimulatedNER
 from ..ranking.random_walk import RandomWalkRanker
 from ..rng import RandomStreams
+from ..runtime.context import RunContext
 from ..service.policy import IngestPolicy
 from ..service.session import IngestSession
 from ..world.presets import WorldPreset, paper_world
@@ -183,16 +184,23 @@ class Pipeline:
         self._config = config
         self._streams = RandomStreams(config.seed)
         self._corpus: Corpus | None = None
+        # One context for every stage: the event bus and (optional) tracer
+        # observe the run, and the shared-resource registry carries the
+        # canonical per-KB exclusion index between the detection callback
+        # and the cleaner.
+        self._ctx = RunContext(config, self._streams)
         # One ranker for every stage: its mutation-versioned score cache
         # makes repeated score_all calls (analysis, per-round detection
         # refits during cleaning) re-rank only concepts the KB mutated.
-        self._ranker = RandomWalkRanker()
+        self._ranker = RandomWalkRanker(context=self._ctx)
         # One analysis cache for every detection callback this pipeline
         # hands out: per-concept matrices, seeds, verified samples and
         # detector transforms survive across cleaning rounds and are
         # invalidated by KB/relation version signatures (see
         # repro.analysis.cache).
-        self._analysis = AnalysisCache(similarity=self._config.similarity)
+        self._analysis = AnalysisCache(
+            similarity=self._config.similarity, context=self._ctx
+        )
 
     @property
     def preset(self) -> WorldPreset:
@@ -209,18 +217,25 @@ class Pipeline:
         """The shared analysis cache behind every detection callback."""
         return self._analysis
 
+    @property
+    def context(self) -> RunContext:
+        """The run context threaded through every stage."""
+        return self._ctx
+
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
     def corpus(self) -> Corpus:
         """Generate (and cache) the corpus."""
         if self._corpus is None:
-            generator = CorpusGenerator(
-                self._preset.world,
-                self._config.corpus,
-                self._streams.stream("corpus"),
-            )
-            self._corpus = generator.generate()
+            with self._ctx.span("corpus.generate") as span:
+                generator = CorpusGenerator(
+                    self._preset.world,
+                    self._config.corpus,
+                    self._streams.stream("corpus"),
+                )
+                self._corpus = generator.generate()
+                span.add("sentences", len(self._corpus.sentences))
         return self._corpus
 
     def extract(self) -> ExtractionResult:
@@ -229,7 +244,9 @@ class Pipeline:
         Extraction is deterministic, so calling this repeatedly yields
         identical, *independent* knowledge bases — one per cleaner.
         """
-        extractor = SemanticIterativeExtractor(self._config.extraction)
+        extractor = SemanticIterativeExtractor(
+            self._config.extraction, context=self._ctx
+        )
         return extractor.run(self.corpus())
 
     def analyze(
@@ -242,19 +259,22 @@ class Pipeline:
         extraction = extraction or self.extract()
         kb = extraction.kb
         world = self._preset.world
-        exclusion = MutualExclusionIndex(kb, self._config.similarity)
-        concepts = self.analysis_concepts(kb)
-        scores = self._ranker.score_all(kb, concepts)
-        features = FeatureExtractor(kb, exclusion, scores)
-        matrices = {
-            concept: build_concept_matrix(features, concept)
-            for concept in concepts
-        }
-        verified = self._verified_sample(kb)
-        evidence = EvidenceIndex(
-            kb, exclusion, self._config.labeling, verified=verified
-        )
-        seeds = SeedLabeler(kb, exclusion, evidence).label_all(concepts)
+        with self._ctx.span("analysis.build") as span:
+            exclusion = MutualExclusionIndex(kb, self._config.similarity)
+            self._ctx.resources.put("exclusion", kb, exclusion)
+            concepts = self.analysis_concepts(kb)
+            span.set(concepts=len(concepts))
+            scores = self._ranker.score_all(kb, concepts)
+            features = FeatureExtractor(kb, exclusion, scores)
+            matrices = {
+                concept: build_concept_matrix(features, concept)
+                for concept in concepts
+            }
+            verified = self._verified_sample(kb)
+            evidence = EvidenceIndex(
+                kb, exclusion, self._config.labeling, verified=verified
+            )
+            seeds = SeedLabeler(kb, exclusion, evidence).label_all(concepts)
         truth = GroundTruth(world, kb)
         detector = None
         if fit_detector:
@@ -262,6 +282,7 @@ class Pipeline:
                 self._config.detector,
                 method=detector_method,
                 seed=self._streams.stream("detector"),
+                context=self._ctx,
             )
             detector.fit(matrices, seeds)
         return PipelineArtifacts(
@@ -280,9 +301,20 @@ class Pipeline:
             detector=detector,
         )
 
-    def run(self) -> PipelineArtifacts:
-        """Corpus → extraction → full analysis with a fitted detector."""
-        return self.analyze()
+    def run(self, trace: str | None = None) -> PipelineArtifacts:
+        """Corpus → extraction → full analysis with a fitted detector.
+
+        ``trace`` names a JSONL file to export the span tree to; passing
+        it turns tracing on for this pipeline's context.  Tracing is
+        observation-only: traced and untraced runs produce bit-identical
+        artifacts (pinned by ``tests/runtime/test_trace_identity.py``).
+        """
+        if trace is not None:
+            self._ctx.ensure_tracer()
+        artifacts = self.analyze()
+        if trace is not None:
+            self._ctx.export_trace(trace)
+        return artifacts
 
     def session(
         self,
@@ -312,6 +344,7 @@ class Pipeline:
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             resume=resume,
+            context=self._ctx,
         )
 
     # ------------------------------------------------------------------
@@ -365,59 +398,75 @@ class Pipeline:
         state: dict = {"embedding": None, "weights": None}
 
         def detect(kb: KnowledgeBase) -> dict[str, dict[str, DPLabel]]:
-            concepts = self.analysis_concepts(kb)
-            if cache is not None:
-                exclusion = cache.exclusion(kb)
-            else:
-                exclusion = MutualExclusionIndex(kb, self._config.similarity)
-            scores = self._ranker.score_all(kb, concepts)
-            features = FeatureExtractor(kb, exclusion, scores)
-            if cache is not None:
-                matrices = cache.matrices(kb, concepts, features)
-                verified = cache.verified(
-                    kb, concepts, self._verified_concept
+            ctx = self._ctx
+            with ctx.span(
+                "analysis.refresh", cached=cache is not None
+            ) as span:
+                concepts = self.analysis_concepts(kb)
+                span.set(concepts=len(concepts))
+                if cache is not None:
+                    exclusion = cache.exclusion(kb)
+                else:
+                    exclusion = MutualExclusionIndex(
+                        kb, self._config.similarity
+                    )
+                # Publish the canonical per-KB index so the cleaner's
+                # guards consult the same object detection just used.
+                ctx.resources.put("exclusion", kb, exclusion)
+                scores = self._ranker.score_all(kb, concepts)
+                features = FeatureExtractor(kb, exclusion, scores)
+                if cache is not None:
+                    matrices = cache.matrices(kb, concepts, features)
+                    verified = cache.verified(
+                        kb, concepts, self._verified_concept
+                    )
+                    evidence = cache.evidence(
+                        kb, self._config.labeling, verified
+                    )
+                    seeds = cache.seeds(kb, concepts, evidence)
+                else:
+                    matrices = {
+                        concept: build_concept_matrix(features, concept)
+                        for concept in concepts
+                    }
+                    verified = self._verified_sample(kb)
+                    evidence = EvidenceIndex(
+                        kb, exclusion, self._config.labeling,
+                        verified=verified,
+                    )
+                    seeds = SeedLabeler(kb, exclusion, evidence).label_all(
+                        concepts
+                    )
+                detector = DPDetector(
+                    detector_config,
+                    method=detector_method,
+                    seed=self._streams.stream("detector"),
+                    context=ctx,
                 )
-                evidence = cache.evidence(
-                    kb, self._config.labeling, verified
+                detector.fit(
+                    matrices,
+                    seeds,
+                    embedding=state["embedding"],
+                    refit_cache=(
+                        cache.refit_cache(kb) if cache is not None else None
+                    ),
+                    initial_weights=state["weights"] if warm_start else None,
                 )
-                seeds = cache.seeds(kb, concepts, evidence)
-            else:
-                matrices = {
-                    concept: build_concept_matrix(features, concept)
-                    for concept in concepts
-                }
-                verified = self._verified_sample(kb)
-                evidence = EvidenceIndex(
-                    kb, exclusion, self._config.labeling, verified=verified
-                )
-                seeds = SeedLabeler(kb, exclusion, evidence).label_all(
-                    concepts
-                )
-            detector = DPDetector(
-                detector_config,
-                method=detector_method,
-                seed=self._streams.stream("detector"),
-            )
-            detector.fit(
-                matrices,
-                seeds,
-                embedding=state["embedding"],
-                refit_cache=(
-                    cache.refit_cache(kb) if cache is not None else None
-                ),
-                initial_weights=state["weights"] if warm_start else None,
-            )
-            state["embedding"] = detector.embedding
-            if warm_start:
-                state["weights"] = detector.concept_weights
-            detect.exclusion_index = exclusion
-            return detector.predict_all()
+                state["embedding"] = detector.embedding
+                if warm_start:
+                    state["weights"] = detector.concept_weights
+                detect.exclusion_index = exclusion
+                return detector.predict_all()
 
         # Let the cleaner reuse this pipeline's ranker (and its score
-        # cache) instead of re-solving the same concepts from scratch.
+        # cache) instead of re-solving the same concepts from scratch,
+        # and inherit the pipeline's run context (shared-resource
+        # registry, event bus, tracer) without a signature change at the
+        # call sites that pass bare callbacks.
         detect.ranker = self._ranker
         detect.analysis = cache
         detect.exclusion_index = None
+        detect.context = self._ctx
         return detect
 
     def _verified_concept(

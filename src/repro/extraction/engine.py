@@ -22,6 +22,8 @@ from ..corpus.sentence import Sentence
 from ..kb.pair import IsAPair
 from ..kb.snapshot import IterationLog
 from ..kb.store import KnowledgeBase
+from ..runtime.context import NULL_CONTEXT, RunContext
+from ..runtime.events import ExtractionIteration
 from .trigger import resolve
 
 __all__ = [
@@ -55,26 +57,46 @@ class ExtractionResult:
 class SemanticIterativeExtractor:
     """Run iterative, knowledge-triggered isA extraction over a corpus."""
 
-    def __init__(self, config: ExtractionConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ExtractionConfig | None = None,
+        context: RunContext | None = None,
+    ) -> None:
         self._config = config or ExtractionConfig()
+        self._ctx = context or NULL_CONTEXT
 
     def run(self, corpus: Corpus) -> ExtractionResult:
         """Extract from a (deduplicated) corpus and return the result."""
+        with self._ctx.span("extract") as span:
+            result = self._run(corpus)
+            span.set(
+                iterations=result.iterations,
+                total_pairs=result.total_pairs,
+                unresolved=len(result.unresolved_sids),
+            )
+        return result
+
+    def _run(self, corpus: Corpus) -> ExtractionResult:
         config = self._config
+        ctx = self._ctx
         deduped = corpus.deduplicated()
         kb = KnowledgeBase()
         log = IterationLog()
 
         # Iteration 1: unambiguous sentences only.
         unambiguous = sorted(deduped.unambiguous(), key=lambda s: s.sid)
-        for sentence in unambiguous:
-            kb.add_extraction(
-                sid=sentence.sid,
-                concept=sentence.concepts[0],
-                instances=sentence.instances,
-                triggers=(),
-                iteration=1,
-            )
+        with ctx.span("extract.iteration", iteration=1) as span:
+            for sentence in unambiguous:
+                kb.add_extraction(
+                    sid=sentence.sid,
+                    concept=sentence.concepts[0],
+                    instances=sentence.instances,
+                    triggers=(),
+                    iteration=1,
+                )
+            span.add("sentences_scanned", len(unambiguous))
+            span.add("sentences_resolved", len(unambiguous))
+            span.add("pairs_committed", len(kb))
         visible: dict[str, frozenset[str]] = {
             concept: kb.instances_of(concept) for concept in kb.concepts()
         }
@@ -83,6 +105,16 @@ class SemanticIterativeExtractor:
             sentences_resolved=len(unambiguous),
             new_pairs=len(kb),
             total_pairs=len(kb),
+        )
+        ctx.emit(
+            ExtractionIteration(
+                iteration=1,
+                sentences_scanned=len(unambiguous),
+                sentences_resolved=len(unambiguous),
+                new_pairs=len(kb),
+                total_pairs=len(kb),
+                trigger_fanout=0,
+            )
         )
 
         # Iterations 2..n: resolve ambiguous sentences against the snapshot.
@@ -101,30 +133,49 @@ class SemanticIterativeExtractor:
             pairs_before = len(kb)
             still_unresolved = []
             resolved_count = 0
+            scanned = 0
+            fanout = 0
             grown: set[str] = set()
-            for sentence in unresolved:
-                if arrival[sentence.sid] > iteration:
-                    still_unresolved.append(sentence)
-                    continue
-                resolution = resolve(
-                    sentence,
-                    visible,
-                    policy=config.policy,
-                    min_evidence=config.min_evidence,
-                )
-                if resolution is None:
-                    still_unresolved.append(sentence)
-                    continue
-                kb.add_extraction(
-                    sid=sentence.sid,
-                    concept=resolution.concept,
-                    instances=sentence.instances,
-                    triggers=resolution.triggers,
-                    iteration=iteration,
-                )
-                grown.add(resolution.concept)
-                resolved_count += 1
+            with ctx.span("extract.iteration", iteration=iteration) as span:
+                for sentence in unresolved:
+                    if arrival[sentence.sid] > iteration:
+                        still_unresolved.append(sentence)
+                        continue
+                    scanned += 1
+                    resolution = resolve(
+                        sentence,
+                        visible,
+                        policy=config.policy,
+                        min_evidence=config.min_evidence,
+                    )
+                    if resolution is None:
+                        still_unresolved.append(sentence)
+                        continue
+                    kb.add_extraction(
+                        sid=sentence.sid,
+                        concept=resolution.concept,
+                        instances=sentence.instances,
+                        triggers=resolution.triggers,
+                        iteration=iteration,
+                    )
+                    grown.add(resolution.concept)
+                    fanout += len(resolution.triggers)
+                    resolved_count += 1
+                span.add("sentences_scanned", scanned)
+                span.add("sentences_resolved", resolved_count)
+                span.add("pairs_committed", len(kb) - pairs_before)
+                span.add("trigger_fanout", fanout)
             unresolved = still_unresolved
+            ctx.emit(
+                ExtractionIteration(
+                    iteration=iteration,
+                    sentences_scanned=scanned,
+                    sentences_resolved=resolved_count,
+                    new_pairs=len(kb) - pairs_before,
+                    total_pairs=len(kb),
+                    trigger_fanout=fanout,
+                )
+            )
             all_arrived = iteration >= 1 + config.stream_chunks
             if resolved_count == 0 and all_arrived:
                 break
@@ -197,8 +248,10 @@ class IncrementalExtractor:
         self,
         config: ExtractionConfig | None = None,
         kb: KnowledgeBase | None = None,
+        context: RunContext | None = None,
     ) -> None:
         self._config = config or ExtractionConfig()
+        self._ctx = context or NULL_CONTEXT
         self._kb = kb or KnowledgeBase()
         self._log = IterationLog()
         self._seen: set[str] = set()
@@ -293,9 +346,20 @@ class IncrementalExtractor:
     # ------------------------------------------------------------------
     def ingest(self, sentences: Iterable[Sentence]) -> BatchExtraction:
         """Extract from one batch of sentences and return what it did."""
+        with self._ctx.span("extract.ingest", batch=self._batches) as span:
+            batch = self._ingest(list(sentences))
+            span.add("sentences_seen", batch.sentences_seen)
+            span.add("sentences_new", batch.sentences_new)
+            span.add("sentences_resolved",
+                     batch.core_resolved + batch.ambiguous_resolved)
+            span.add("pairs_committed", len(batch.new_pairs))
+            span.add("iterations_run", batch.iterations_run)
+        return batch
+
+    def _ingest(self, raw: list[Sentence]) -> BatchExtraction:
         config = self._config
+        ctx = self._ctx
         kb = self._kb
-        raw = list(sentences)
         new: list[Sentence] = []
         for sentence in raw:
             if sentence.surface in self._seen:
@@ -335,6 +399,16 @@ class IncrementalExtractor:
                 new_pairs=len(kb),
                 total_pairs=len(kb),
             )
+            ctx.emit(
+                ExtractionIteration(
+                    iteration=1,
+                    sentences_scanned=len(unambiguous),
+                    sentences_resolved=len(unambiguous),
+                    new_pairs=len(kb),
+                    total_pairs=len(kb),
+                    trigger_fanout=0,
+                )
+            )
 
         # Resolution: the batch's ambiguous sentences arrive chunked (as
         # in the batch extractor), the carried-over pool is attemptable
@@ -355,34 +429,53 @@ class IncrementalExtractor:
             pairs_before = len(kb)
             still_unresolved = []
             resolved_count = 0
+            scanned = 0
+            fanout = 0
             grown = set()
-            for sentence in unresolved:
-                if arrival.get(sentence.sid, 0) > iteration:
-                    still_unresolved.append(sentence)
-                    continue
-                resolution = resolve(
-                    sentence,
-                    self._visible,
-                    policy=config.policy,
-                    min_evidence=config.min_evidence,
-                )
-                if resolution is None:
-                    still_unresolved.append(sentence)
-                    continue
-                record = kb.add_extraction(
-                    sid=sentence.sid,
-                    concept=resolution.concept,
-                    instances=sentence.instances,
-                    triggers=resolution.triggers,
-                    iteration=iteration,
-                )
-                for pair in record.produced:
-                    if kb.count(pair) == 1:
-                        new_pairs.append(pair)
-                grown.add(resolution.concept)
-                resolved_count += 1
+            with ctx.span("extract.iteration", iteration=iteration) as span:
+                for sentence in unresolved:
+                    if arrival.get(sentence.sid, 0) > iteration:
+                        still_unresolved.append(sentence)
+                        continue
+                    scanned += 1
+                    resolution = resolve(
+                        sentence,
+                        self._visible,
+                        policy=config.policy,
+                        min_evidence=config.min_evidence,
+                    )
+                    if resolution is None:
+                        still_unresolved.append(sentence)
+                        continue
+                    record = kb.add_extraction(
+                        sid=sentence.sid,
+                        concept=resolution.concept,
+                        instances=sentence.instances,
+                        triggers=resolution.triggers,
+                        iteration=iteration,
+                    )
+                    for pair in record.produced:
+                        if kb.count(pair) == 1:
+                            new_pairs.append(pair)
+                    grown.add(resolution.concept)
+                    fanout += len(resolution.triggers)
+                    resolved_count += 1
+                span.add("sentences_scanned", scanned)
+                span.add("sentences_resolved", resolved_count)
+                span.add("pairs_committed", len(kb) - pairs_before)
+                span.add("trigger_fanout", fanout)
             unresolved = still_unresolved
             last_iteration = iteration
+            ctx.emit(
+                ExtractionIteration(
+                    iteration=iteration,
+                    sentences_scanned=scanned,
+                    sentences_resolved=resolved_count,
+                    new_pairs=len(kb) - pairs_before,
+                    total_pairs=len(kb),
+                    trigger_fanout=fanout,
+                )
+            )
             all_arrived = iteration >= base + chunks_used
             if resolved_count == 0 and all_arrived:
                 break

@@ -26,6 +26,8 @@ from ..features.matrix import ConceptMatrix
 from ..labeling.labels import DPLabel
 from ..labeling.rules import SeedLabelSet
 from ..rng import generator_from
+from ..runtime.context import NULL_CONTEXT, RunContext
+from ..runtime.events import DetectorFitted, WarmStartReused
 from .adhoc import AdHocDetector
 from .embedding import FrozenEmbedding
 from .multitask import MultiTaskTrainer
@@ -77,12 +79,14 @@ class DPDetector:
         config: DetectorConfig | None = None,
         method: str = "multitask",
         seed: int | np.random.Generator | None = None,
+        context: RunContext | None = None,
     ) -> None:
         if method not in DETECTION_METHODS:
             known = ", ".join(DETECTION_METHODS)
             raise LearningError(f"unknown method {method!r} (known: {known})")
         self._config = config or DetectorConfig()
         self._method = method
+        self._ctx = context or NULL_CONTEXT
         self._rng = generator_from(seed)
         self._matrices: dict[str, ConceptMatrix] = {}
         self._transformed: dict[str, np.ndarray] = {}
@@ -141,42 +145,70 @@ class DPDetector:
         self._matrices = dict(matrices)
         if not self._matrices:
             raise LearningError("no concept matrices supplied")
-        if self._method in ("supervised",) or self._method.startswith("adhoc"):
-            self._fit_raw_baseline(seeds)
-            self._fitted = True
-            return self
-        self._embed(embedding, refit_cache)
-        self._build_datasets(seeds, refit_cache)
-        labelled = [d for d in self._datasets.values() if d.n_labeled > 0]
-        if not labelled:
-            raise LearningError("no concept has labelled seeds")
-        self._fit_pooled(labelled)
-        if self._method == "multitask":
-            trainer = MultiTaskTrainer(
-                lam=self._config.lam,
-                beta=self._config.beta,
-                gamma=self._config.gamma,
-                iterations=self._config.training_iterations,
-                tolerance=self._config.tolerance,
-                seed=self._rng,
-            )
-            wrapped = None
-            if eval_fn is not None:
-                wrapped = self._wrap_eval(eval_fn)
-            result = trainer.fit(
-                labelled, eval_fn=wrapped, initial_weights=initial_weights
-            )
-            self._weights = result.weights
-            self.objective_history = result.objective_history
-            self.accuracy_history = result.accuracy_history
-        else:  # semisupervised: independent closed forms
-            self._weights = {
-                d.concept: solve_semisupervised(
-                    d, lam=self._config.lam, beta=self._config.beta
+        ctx = self._ctx
+        with ctx.span(
+            "detector.fit", method=self._method, concepts=len(self._matrices)
+        ) as span:
+            if self._method in ("supervised",) or self._method.startswith(
+                "adhoc"
+            ):
+                self._fit_raw_baseline(seeds)
+                self._fitted = True
+                return self
+            transforms_reused = self._embed(embedding, refit_cache)
+            manifolds_reused = self._build_datasets(seeds, refit_cache)
+            labelled = [d for d in self._datasets.values() if d.n_labeled > 0]
+            if not labelled:
+                raise LearningError("no concept has labelled seeds")
+            span.set(labelled_concepts=len(labelled))
+            if initial_weights:
+                ctx.emit(WarmStartReused(concepts=len(initial_weights)))
+            with ctx.span("detector.pooled"):
+                self._fit_pooled(labelled)
+            if self._method == "multitask":
+                trainer = MultiTaskTrainer(
+                    lam=self._config.lam,
+                    beta=self._config.beta,
+                    gamma=self._config.gamma,
+                    iterations=self._config.training_iterations,
+                    tolerance=self._config.tolerance,
+                    seed=self._rng,
                 )
-                for d in labelled
-            }
-        self._fitted = True
+                wrapped = None
+                if eval_fn is not None:
+                    wrapped = self._wrap_eval(eval_fn)
+                with ctx.span("detector.train", method="multitask") as tspan:
+                    result = trainer.fit(
+                        labelled,
+                        eval_fn=wrapped,
+                        initial_weights=initial_weights,
+                    )
+                    tspan.add("iterations", len(result.objective_history))
+                self._weights = result.weights
+                self.objective_history = result.objective_history
+                self.accuracy_history = result.accuracy_history
+            else:  # semisupervised: independent closed forms
+                with ctx.span("detector.train", method="semisupervised"):
+                    self._weights = {
+                        d.concept: solve_semisupervised(
+                            d,
+                            lam=self._config.lam,
+                            beta=self._config.beta,
+                            context=ctx,
+                        )
+                        for d in labelled
+                    }
+            self._fitted = True
+            ctx.emit(
+                DetectorFitted(
+                    method=self._method,
+                    concepts=len(self._matrices),
+                    labelled_concepts=len(labelled),
+                    warm_started=bool(initial_weights),
+                    transforms_reused=transforms_reused,
+                    manifolds_reused=manifolds_reused,
+                )
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -235,33 +267,46 @@ class DPDetector:
         self,
         embedding: FrozenEmbedding | None,
         cache: DetectorRefitCache | None,
-    ) -> None:
-        if embedding is None:
-            embedding = FrozenEmbedding.fit(
-                self._matrices, self._config, seed=self._rng
+    ) -> int:
+        with self._ctx.span("detector.embed") as span:
+            fitted_here = embedding is None
+            if embedding is None:
+                embedding = FrozenEmbedding.fit(
+                    self._matrices, self._config, seed=self._rng
+                )
+            span.set(fitted=fitted_here)
+            self._embedding = embedding
+            if cache is not None and cache.embedding is not embedding:
+                # Transforms are only comparable under one basis.
+                cache.embedding = embedding
+                cache.transforms.clear()
+                cache.manifolds.clear()
+            # Projection stays per concept: the blocks fit in cache,
+            # whereas a pooled kernel-matrix transform thrashes on its own
+            # temporaries.
+            self._transformed = {}
+            reused = 0
+            for concept, matrix in self._matrices.items():
+                entry = (
+                    cache.transforms.get(concept) if cache is not None else None
+                )
+                if entry is not None and entry[0] is matrix:
+                    transformed = entry[1]
+                    reused += 1
+                else:
+                    transformed = embedding.transform(matrix.x)
+                    if cache is not None:
+                        cache.transforms[concept] = (matrix, transformed)
+                self._transformed[concept] = transformed
+            span.add("transforms_reused", reused)
+            span.add(
+                "transforms_computed", len(self._matrices) - reused
             )
-        self._embedding = embedding
-        if cache is not None and cache.embedding is not embedding:
-            # Transforms are only comparable under one basis.
-            cache.embedding = embedding
-            cache.transforms.clear()
-            cache.manifolds.clear()
-        # Projection stays per concept: the blocks fit in cache, whereas a
-        # pooled kernel-matrix transform thrashes on its own temporaries.
-        self._transformed = {}
-        for concept, matrix in self._matrices.items():
-            entry = cache.transforms.get(concept) if cache is not None else None
-            if entry is not None and entry[0] is matrix:
-                transformed = entry[1]
-            else:
-                transformed = embedding.transform(matrix.x)
-                if cache is not None:
-                    cache.transforms[concept] = (matrix, transformed)
-            self._transformed[concept] = transformed
+        return reused
 
     def _build_datasets(
         self, seeds: SeedLabelSet, cache: DetectorRefitCache | None = None
-    ) -> None:
+    ) -> int:
         class_weights = None
         if self._config.class_balance:
             counts = seeds.counts()
@@ -281,35 +326,40 @@ class DPDetector:
         ]
         # Resolve manifold regularisers first: cached ones by transform
         # identity, the rest in one batched computation.
-        manifolds: dict[str, np.ndarray] = {}
-        pending: dict[str, np.ndarray] = {}
-        for concept, matrix in with_seeds:
-            transformed = self._transformed[concept]
-            if cache is not None:
-                entry = cache.manifolds.get(concept)
-                if entry is not None and entry[0] is transformed:
-                    manifolds[concept] = entry[1]
-                    continue
-            pending[concept] = transformed
-        if pending:
-            fresh = manifold_matrices(
-                pending, self._config.k_neighbors, self._config.local_reg
-            )
-            for concept, a in fresh.items():
-                manifolds[concept] = a
+        with self._ctx.span("detector.datasets") as span:
+            manifolds: dict[str, np.ndarray] = {}
+            pending: dict[str, np.ndarray] = {}
+            for concept, matrix in with_seeds:
+                transformed = self._transformed[concept]
                 if cache is not None:
-                    cache.manifolds[concept] = (pending[concept], a)
-        self._datasets = {}
-        for concept, matrix in with_seeds:
-            self._datasets[concept] = build_training_data(
-                matrix,
-                self._transformed[concept],
-                seeds.labels_for(concept),
-                k_neighbors=self._config.k_neighbors,
-                local_reg=self._config.local_reg,
-                class_weights=class_weights,
-                a=manifolds[concept],
-            )
+                    entry = cache.manifolds.get(concept)
+                    if entry is not None and entry[0] is transformed:
+                        manifolds[concept] = entry[1]
+                        continue
+                pending[concept] = transformed
+            if pending:
+                fresh = manifold_matrices(
+                    pending, self._config.k_neighbors, self._config.local_reg
+                )
+                for concept, a in fresh.items():
+                    manifolds[concept] = a
+                    if cache is not None:
+                        cache.manifolds[concept] = (pending[concept], a)
+            reused = len(with_seeds) - len(pending)
+            span.add("manifolds_reused", reused)
+            span.add("manifolds_computed", len(pending))
+            self._datasets = {}
+            for concept, matrix in with_seeds:
+                self._datasets[concept] = build_training_data(
+                    matrix,
+                    self._transformed[concept],
+                    seeds.labels_for(concept),
+                    k_neighbors=self._config.k_neighbors,
+                    local_reg=self._config.local_reg,
+                    class_weights=class_weights,
+                    a=manifolds[concept],
+                )
+        return reused
 
     def _fit_pooled(self, labelled: list[ConceptTrainingData]) -> None:
         """Fallback detector for concepts without their own seeds."""

@@ -17,22 +17,29 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import LearningError
+from ..runtime.context import NULL_CONTEXT, RunContext
 from .training_data import ConceptTrainingData
 
 __all__ = ["solve_semisupervised"]
 
 
 def solve_semisupervised(
-    data: ConceptTrainingData, lam: float, beta: float
+    data: ConceptTrainingData,
+    lam: float,
+    beta: float,
+    context: RunContext | None = None,
 ) -> np.ndarray:
     """Closed-form W (r × 3) for one concept."""
+    ctx = context or NULL_CONTEXT
     r = data.x.shape[1]
     if data.n_labeled == 0:
         raise LearningError(
             f"concept {data.concept!r} has no labelled seeds; use the "
             "pooled fallback detector"
         )
-    xl, y = data.weighted_rows()
-    lhs = xl.T @ xl + lam * data.a + lam * beta * np.eye(r)
-    rhs = xl.T @ y
-    return np.linalg.solve(lhs, rhs)
+    with ctx.span("detector.fit.concept", concept=data.concept) as span:
+        span.add("labelled_rows", data.n_labeled)
+        xl, y = data.weighted_rows()
+        lhs = xl.T @ xl + lam * data.a + lam * beta * np.eye(r)
+        rhs = xl.T @ y
+        return np.linalg.solve(lhs, rhs)

@@ -7,6 +7,7 @@ from abc import ABC, abstractmethod
 
 from ..errors import RankingError
 from ..kb.store import KnowledgeBase
+from ..runtime.context import NULL_CONTEXT, RunContext
 
 __all__ = ["Ranker", "RANKERS", "register_ranker", "get_ranker"]
 
@@ -32,6 +33,11 @@ class Ranker(ABC):
     #: class-level default; instances may override (e.g. via a constructor
     #: ``cache=`` parameter).
     cache_scores: bool = True
+
+    #: instrumentation context; instances may override (e.g. via a
+    #: constructor ``context=`` parameter).  Observation only — never
+    #: changes scores.
+    context: RunContext = NULL_CONTEXT
 
     @abstractmethod
     def score(self, kb: KnowledgeBase, concept: str) -> dict[str, float]:
@@ -70,6 +76,9 @@ class Ranker(ABC):
             if entry is None or entry[0] != version:
                 stale.append(concept)
                 versions[concept] = version
+        ctx = self.context
+        ctx.count("rank.cache.hit", len(names) - len(stale))
+        ctx.count("rank.cache.miss", len(stale))
         if stale:
             fresh = self._score_batch(kb, stale)
             for concept in stale:

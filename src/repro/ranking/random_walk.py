@@ -20,6 +20,7 @@ import numpy as np
 from scipy import sparse
 
 from ..kb.store import KnowledgeBase
+from ..runtime.context import NULL_CONTEXT, RunContext
 from .base import Ranker, register_ranker
 from .graph import ConceptGraph, build_concept_graphs
 
@@ -209,6 +210,7 @@ class RandomWalkRanker(Ranker):
         tolerance: float = 1e-12,
         workers: int = 1,
         cache: bool = True,
+        context: RunContext | None = None,
     ) -> None:
         if not 0.0 < restart_probability < 1.0:
             raise ValueError("restart_probability must be in (0, 1)")
@@ -219,6 +221,7 @@ class RandomWalkRanker(Ranker):
         self._tolerance = tolerance
         self._workers = workers
         self.cache_scores = cache
+        self.context = context or NULL_CONTEXT
 
     def _solve(self, graph: ConceptGraph) -> dict[str, float]:
         # Route through the batch kernel so a solo solve (thread fan-out,
@@ -237,16 +240,20 @@ class RandomWalkRanker(Ranker):
     def _score_batch(
         self, kb: KnowledgeBase, concepts: list[str]
     ) -> dict[str, dict[str, float]]:
-        graphs = build_concept_graphs(kb, concepts)
-        ordered = [graphs[concept] for concept in concepts]
-        if self._workers > 1 and len(ordered) > 1:
-            with ThreadPoolExecutor(max_workers=self._workers) as pool:
-                solved = list(pool.map(self._solve, ordered))
-        else:
-            solved = _random_walk_scores_union(
-                ordered,
-                restart_probability=self._restart,
-                max_iterations=self._max_iterations,
-                tolerance=self._tolerance,
-            )
-        return dict(zip(concepts, solved))
+        with self.context.span(
+            "rank.batch", concepts=len(concepts), workers=self._workers
+        ) as span:
+            graphs = build_concept_graphs(kb, concepts)
+            ordered = [graphs[concept] for concept in concepts]
+            span.add("nodes", sum(graph.size for graph in ordered))
+            if self._workers > 1 and len(ordered) > 1:
+                with ThreadPoolExecutor(max_workers=self._workers) as pool:
+                    solved = list(pool.map(self._solve, ordered))
+            else:
+                solved = _random_walk_scores_union(
+                    ordered,
+                    restart_probability=self._restart,
+                    max_iterations=self._max_iterations,
+                    tolerance=self._tolerance,
+                )
+            return dict(zip(concepts, solved))

@@ -1,0 +1,209 @@
+"""The structured run context threaded through every stage.
+
+A :class:`RunContext` bundles what used to travel as ad-hoc callback
+attributes and private state:
+
+* the :class:`~repro.config.PipelineConfig` of the run;
+* the seeded :class:`~repro.rng.RandomStreams` fan-out;
+* a typed :class:`~repro.runtime.events.EventBus`;
+* an optional :class:`~repro.runtime.tracing.Tracer` (``None`` = tracing
+  disabled, the default);
+* a :class:`SharedResources` registry through which components resolve
+  run-scoped singletons (e.g. the one
+  :class:`~repro.concepts.exclusion.MutualExclusionIndex` per knowledge
+  base that the detection callback and the DP cleaner must share).
+
+Every stage accepts a context and defaults to :data:`NULL_CONTEXT`, a
+stateless singleton whose ``span``/``count``/``emit`` are no-ops and
+whose resource registry never stores anything — so un-contexted library
+use pays one attribute check per instrumentation point and behaves
+exactly as before.  Tracing and events are observation only: no stage
+reads its own telemetry back, which is what keeps traced and untraced
+runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import AbstractContextManager
+from pathlib import Path
+from collections.abc import Callable
+
+from ..config import PipelineConfig
+from ..rng import RandomStreams
+from .events import Event, EventBus, event_payload
+from .tracing import Span, Tracer
+
+__all__ = ["RunContext", "SharedResources", "NULL_CONTEXT"]
+
+
+class SharedResources:
+    """Run-scoped singletons keyed by ``(kind, owner)``.
+
+    Owners are held weakly, so registering a per-knowledge-base resource
+    does not pin the knowledge base alive.
+    """
+
+    __slots__ = ("_by_kind",)
+
+    def __init__(self) -> None:
+        self._by_kind: dict[str, weakref.WeakKeyDictionary] = {}
+
+    def get(self, kind: str, owner: object):
+        """The registered resource, or ``None``."""
+        table = self._by_kind.get(kind)
+        return table.get(owner) if table is not None else None
+
+    def put(self, kind: str, owner: object, resource) -> None:
+        """Register (or replace) the resource for ``(kind, owner)``."""
+        table = self._by_kind.get(kind)
+        if table is None:
+            table = weakref.WeakKeyDictionary()
+            self._by_kind[kind] = table
+        table[owner] = resource
+
+    def get_or_create(self, kind: str, owner: object, factory: Callable[[], object]):
+        """Resolve the resource, creating and registering it on first use."""
+        resource = self.get(kind, owner)
+        if resource is None:
+            resource = factory()
+            self.put(kind, owner, resource)
+        return resource
+
+
+class _NullSpan:
+    """Inert span: accepts sets/adds, records nothing."""
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> None:
+        pass
+
+    def add(self, counter: str, n: int | float = 1) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext(AbstractContextManager):
+    """Stateless, reentrant no-op replacement for ``Tracer.span``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class RunContext:
+    """Config + RNG + event bus + tracing + shared resources for one run."""
+
+    __slots__ = ("config", "streams", "bus", "tracer", "resources")
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        streams: RandomStreams | None = None,
+        *,
+        bus: EventBus | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = config
+        self.streams = streams
+        self.bus = bus if bus is not None else EventBus()
+        self.tracer = tracer
+        self.resources = SharedResources()
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """Whether a tracer is attached."""
+        return self.tracer is not None
+
+    def ensure_tracer(self) -> Tracer:
+        """Attach (if needed) and return the tracer."""
+        if self.tracer is None:
+            self.tracer = Tracer()
+        return self.tracer
+
+    def span(
+        self, name: str, **attributes
+    ) -> AbstractContextManager[Span | _NullSpan]:
+        """Open a traced span, or a shared no-op when tracing is off."""
+        if self.tracer is None:
+            return _NULL_SPAN_CONTEXT
+        return self.tracer.span(name, **attributes)
+
+    def count(self, counter: str, n: int | float = 1) -> None:
+        """Increment a counter on the current span (no-op untraced)."""
+        if self.tracer is not None:
+            self.tracer.count(counter, n)
+
+    def export_trace(self, path: str | Path) -> Path:
+        """Export the collected trace as JSONL."""
+        if self.tracer is None:
+            raise ValueError("no tracer attached to this context")
+        return self.tracer.export_jsonl(path)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        """Publish an event to the bus and record it on the active span."""
+        if self.tracer is not None:
+            self.tracer.record_event(
+                type(event).__name__, event_payload(event)
+            )
+        self.bus.publish(event)
+
+
+class _NullResources(SharedResources):
+    """Registry that never stores: ``get`` misses, ``put`` drops.
+
+    Keeps the null context stateless, so unrelated un-contexted runs can
+    never observe each other through the shared singleton.
+    """
+
+    __slots__ = ()
+
+    def put(self, kind: str, owner: object, resource) -> None:
+        pass
+
+    def get_or_create(self, kind: str, owner: object, factory: Callable[[], object]):
+        return factory()
+
+
+class _NullContext(RunContext):
+    """The shared do-nothing context (module singleton)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.resources = _NullResources()
+
+    def ensure_tracer(self) -> Tracer:
+        raise ValueError(
+            "cannot attach a tracer to the null context; build a real "
+            "RunContext instead"
+        )
+
+    def span(self, name: str, **attributes):
+        return _NULL_SPAN_CONTEXT
+
+    def count(self, counter: str, n: int | float = 1) -> None:
+        pass
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+NULL_CONTEXT: RunContext = _NullContext()

@@ -13,7 +13,7 @@ bit-identical knowledge base versus an uninterrupted run.
 
 from .checkpoint import CheckpointStore
 from .journal import Journal, JournalingRollbackEngine, replay_clean_ops
-from .policy import CleanDecision, IngestPolicy
+from .policy import CleanDecision, IngestPolicy, PolicyMonitor
 from .session import BatchReport, CleaningReport, DriftStats, IngestSession
 
 __all__ = [
@@ -26,5 +26,6 @@ __all__ = [
     "IngestSession",
     "Journal",
     "JournalingRollbackEngine",
+    "PolicyMonitor",
     "replay_clean_ops",
 ]

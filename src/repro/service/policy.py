@@ -15,7 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CleanDecision", "IngestPolicy"]
+from ..runtime.events import (
+    BatchExtracted,
+    CleaningCompleted,
+    DriftMeasured,
+    EventBus,
+)
+
+__all__ = ["CleanDecision", "IngestPolicy", "PolicyMonitor"]
 
 
 @dataclass(frozen=True)
@@ -109,3 +116,74 @@ class IngestPolicy:
     def never(cls) -> "IngestPolicy":
         """A policy that never triggers (cleaning only when forced)."""
         return cls(staleness_threshold=None, drift_threshold=None)
+
+
+class PolicyMonitor:
+    """Bus-driven accumulator feeding the policy's trigger inputs.
+
+    Subscribes to the session's event bus and derives everything
+    :meth:`IngestPolicy.decide` needs from published events —
+    :class:`~repro.runtime.events.BatchExtracted` grows staleness,
+    :class:`~repro.runtime.events.DriftMeasured` records the batch drift
+    score and folds per-concept totals, and
+    :class:`~repro.runtime.events.CleaningCompleted` resets staleness.
+    The policy itself stays a pure threshold table and the session holds
+    no private trigger state: anything else on the bus (a dashboard, a
+    test) sees exactly the numbers the triggers fire on.
+    """
+
+    def __init__(self, bus: EventBus) -> None:
+        self.staleness = 0
+        self.cleanings = 0
+        self.last_drift = 0.0
+        self.last_new_pairs = 0
+        self.drift_totals: dict[str, list[int]] = {}
+        self._unsubscribe = [
+            bus.subscribe(BatchExtracted, self._on_batch),
+            bus.subscribe(DriftMeasured, self._on_drift),
+            bus.subscribe(CleaningCompleted, self._on_cleaned),
+        ]
+
+    def _on_batch(self, event: BatchExtracted) -> None:
+        self.staleness += event.sentences_new
+
+    def _on_drift(self, event: DriftMeasured) -> None:
+        self.last_drift = event.fraction
+        self.last_new_pairs = event.new_pairs
+        for concept, new, conflicted in event.per_concept:
+            totals = self.drift_totals.setdefault(concept, [0, 0])
+            totals[0] += new
+            totals[1] += conflicted
+
+    def _on_cleaned(self, event: CleaningCompleted) -> None:
+        self.staleness = 0
+        self.cleanings += 1
+
+    def decide(
+        self, policy: IngestPolicy, forced: bool = False
+    ) -> CleanDecision:
+        """Evaluate ``policy`` against the accumulated telemetry."""
+        return policy.decide(
+            staleness=self.staleness,
+            drift=self.last_drift,
+            new_pairs=self.last_new_pairs,
+            forced=forced,
+        )
+
+    def restore(self, *, staleness: int, cleanings: int) -> None:
+        """Reset the counters a snapshot carries directly."""
+        self.staleness = staleness
+        self.cleanings = cleanings
+
+    def fold(self, per_concept: dict[str, list[int]]) -> None:
+        """Fold a restored report's per-concept drift into the totals."""
+        for concept, counts in per_concept.items():
+            totals = self.drift_totals.setdefault(concept, [0, 0])
+            totals[0] += counts[0]
+            totals[1] += counts[1]
+
+    def close(self) -> None:
+        """Detach from the bus."""
+        for unsubscribe in self._unsubscribe:
+            unsubscribe()
+        self._unsubscribe = []

@@ -41,9 +41,18 @@ from ..errors import ServiceError
 from ..extraction.engine import BatchExtraction, IncrementalExtractor
 from ..kb.pair import IsAPair
 from ..kb.store import KnowledgeBase
+from ..runtime.context import NULL_CONTEXT, RunContext
+from ..runtime.events import (
+    BatchExtracted,
+    BatchIngested,
+    CleaningCompleted,
+    CleaningTriggered,
+    DriftMeasured,
+    SessionResumed,
+)
 from .checkpoint import CheckpointStore
 from .journal import JournalingRollbackEngine, replay_clean_ops
-from .policy import IngestPolicy
+from .policy import IngestPolicy, PolicyMonitor
 
 __all__ = ["DriftStats", "CleaningReport", "BatchReport", "IngestSession"]
 
@@ -185,6 +194,11 @@ class IngestSession:
         session durable).
     resume:
         Rebuild state from ``checkpoint_dir`` before accepting batches.
+    context:
+        The :class:`~repro.runtime.context.RunContext` to emit through.
+        The session *requires* a live event bus (its cleaning triggers
+        ride on published events), so when this is omitted — or the
+        stateless null context is passed — a private context is minted.
     """
 
     def __init__(
@@ -197,6 +211,7 @@ class IngestSession:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 0,
         resume: bool = False,
+        context: RunContext | None = None,
     ) -> None:
         self._config = config
         self._detect_factory = detect_factory
@@ -204,17 +219,20 @@ class IngestSession:
         self._analysis = analysis or AnalysisCache(
             similarity=config.similarity
         )
-        self._extractor = IncrementalExtractor(config.extraction)
+        if context is None or context is NULL_CONTEXT:
+            context = RunContext(config)
+        self._ctx = context
+        self._monitor = PolicyMonitor(context.bus)
+        self._extractor = IncrementalExtractor(
+            config.extraction, context=context
+        )
         self._store = (
             CheckpointStore(checkpoint_dir) if checkpoint_dir else None
         )
         self._checkpoint_every = checkpoint_every
         self._seq = 0
         self._last_snapshot_seq = 0
-        self._since_clean = 0
-        self._cleanings = 0
         self._reports: list[BatchReport] = []
-        self._drift_totals: dict[str, list[int]] = {}
         if resume:
             if self._store is None:
                 raise ServiceError("resume requires a checkpoint_dir")
@@ -234,6 +252,16 @@ class IngestSession:
         return self._policy
 
     @property
+    def context(self) -> RunContext:
+        """The run context the session emits through."""
+        return self._ctx
+
+    @property
+    def monitor(self) -> PolicyMonitor:
+        """The bus-driven telemetry accumulator behind the triggers."""
+        return self._monitor
+
+    @property
     def reports(self) -> list[BatchReport]:
         """Per-batch reports in ingest order (replayed ones included)."""
         return list(self._reports)
@@ -246,12 +274,12 @@ class IngestSession:
     @property
     def cleanings(self) -> int:
         """Number of cleaning passes run (or replayed) so far."""
-        return self._cleanings
+        return self._monitor.cleanings
 
     @property
     def staleness(self) -> int:
         """New sentences ingested since the last cleaning pass."""
-        return self._since_clean
+        return self._monitor.staleness
 
     def corpus(self) -> Corpus:
         """The accumulated de-duplicated corpus."""
@@ -261,18 +289,18 @@ class IngestSession:
         """Cumulative per-concept [new pairs, conflicted] telemetry."""
         return {
             concept: list(counts)
-            for concept, counts in self._drift_totals.items()
+            for concept, counts in self._monitor.drift_totals.items()
         }
 
     def stats(self) -> dict:
         """A summary of the session so far."""
         return {
             "batches": self.batches_ingested,
-            "cleanings": self._cleanings,
+            "cleanings": self._monitor.cleanings,
             "pairs": len(self.kb),
             "removed_pairs": len(self.kb.removed_pairs()),
             "unresolved": len(self._extractor.unresolved_sids()),
-            "staleness": self._since_clean,
+            "staleness": self._monitor.staleness,
             "drift_history": [r.drift.fraction for r in self._reports],
         }
 
@@ -285,56 +313,110 @@ class IngestSession:
         force_clean: bool = False,
     ) -> BatchReport:
         """Ingest one batch; extract, measure drift, maybe clean; commit."""
-        batch = self._extractor.ingest(list(sentences))
-        new_sentences = self._new_batch_sentences(batch)
-        drift = self._drift_stats(batch)
-        self._since_clean += batch.sentences_new
-        decision = self._policy.decide(
-            staleness=self._since_clean,
-            drift=drift.fraction,
-            new_pairs=drift.new_pairs,
-            forced=force_clean,
-        )
-        cleaning = None
-        clean_ops: list[list] = []
-        if decision.clean:
-            cleaning, clean_ops = self._clean(decision.reason)
-            self._since_clean = 0
-            self._cleanings += 1
-        self._seq += 1
-        report = BatchReport(
-            seq=self._seq,
-            index=batch.index,
-            sentences_seen=batch.sentences_seen,
-            sentences_new=batch.sentences_new,
-            core_resolved=batch.core_resolved,
-            ambiguous_resolved=batch.ambiguous_resolved,
-            new_pairs=len(batch.new_pairs),
-            total_pairs=batch.total_pairs,
-            iterations_run=batch.iterations_run,
-            drift=drift,
-            cleaning=cleaning,
-        )
-        self._reports.append(report)
-        self._fold_drift(drift)
-        if self._store is not None:
-            entry = {
-                "seq": self._seq,
-                "type": "batch",
-                "sentences": [sentence_to_json(s) for s in new_sentences],
-                "report": report.to_dict(),
-            }
-            if clean_ops:
-                entry["clean_ops"] = clean_ops
-            self._store.journal.append(entry)
-            due = (
-                self._checkpoint_every > 0
-                and self._seq - self._last_snapshot_seq
-                >= self._checkpoint_every
+        ctx = self._ctx
+        with ctx.span("ingest.batch", seq=self._seq + 1) as span:
+            batch = self._extractor.ingest(list(sentences))
+            new_sentences = self._new_batch_sentences(batch)
+            span.add("sentences_seen", batch.sentences_seen)
+            span.add("sentences_new", batch.sentences_new)
+            span.add("new_pairs", len(batch.new_pairs))
+            ctx.emit(
+                BatchExtracted(
+                    index=batch.index,
+                    sentences_seen=batch.sentences_seen,
+                    sentences_new=batch.sentences_new,
+                    new_pairs=len(batch.new_pairs),
+                    total_pairs=batch.total_pairs,
+                    iterations_run=batch.iterations_run,
+                )
             )
-            if due:
-                self.checkpoint()
+            drift = self._drift_stats(batch)
+            ctx.emit(
+                DriftMeasured(
+                    index=batch.index,
+                    new_pairs=drift.new_pairs,
+                    conflicted=drift.conflicted,
+                    fraction=drift.fraction,
+                    per_concept=tuple(
+                        (concept, counts[0], counts[1])
+                        for concept, counts in sorted(
+                            drift.per_concept.items()
+                        )
+                    ),
+                )
+            )
+            decision = self._monitor.decide(self._policy, forced=force_clean)
+            cleaning = None
+            clean_ops: list[list] = []
+            if decision.clean:
+                ctx.emit(
+                    CleaningTriggered(
+                        reason=decision.reason,
+                        staleness=decision.staleness,
+                        drift=decision.drift,
+                    )
+                )
+                cleaning, clean_ops = self._clean(decision.reason)
+                ctx.emit(
+                    CleaningCompleted(
+                        rounds=cleaning.rounds,
+                        pairs_removed=cleaning.removed_pairs,
+                        records_rolled_back=cleaning.records_rolled_back,
+                        reason=decision.reason,
+                    )
+                )
+            self._seq += 1
+            report = BatchReport(
+                seq=self._seq,
+                index=batch.index,
+                sentences_seen=batch.sentences_seen,
+                sentences_new=batch.sentences_new,
+                core_resolved=batch.core_resolved,
+                ambiguous_resolved=batch.ambiguous_resolved,
+                new_pairs=len(batch.new_pairs),
+                total_pairs=batch.total_pairs,
+                iterations_run=batch.iterations_run,
+                drift=drift,
+                cleaning=cleaning,
+            )
+            self._reports.append(report)
+            if self._store is not None:
+                entry = {
+                    "seq": self._seq,
+                    "type": "batch",
+                    "sentences": [sentence_to_json(s) for s in new_sentences],
+                    "report": report.to_dict(),
+                }
+                if clean_ops:
+                    entry["clean_ops"] = clean_ops
+                self._store.journal.append(entry)
+                due = (
+                    self._checkpoint_every > 0
+                    and self._seq - self._last_snapshot_seq
+                    >= self._checkpoint_every
+                )
+                if due:
+                    self.checkpoint()
+            ctx.emit(self._ingested_event(report, replayed=False))
         return report
+
+    def _ingested_event(
+        self, report: BatchReport, replayed: bool
+    ) -> BatchIngested:
+        cleaning = report.cleaning
+        return BatchIngested(
+            seq=report.seq,
+            index=report.index,
+            sentences_seen=report.sentences_seen,
+            sentences_new=report.sentences_new,
+            new_pairs=report.new_pairs,
+            total_pairs=report.total_pairs,
+            drift_fraction=report.drift.fraction,
+            cleaned=cleaning is not None,
+            clean_reason=cleaning.reason if cleaning else None,
+            removed_pairs=cleaning.removed_pairs if cleaning else 0,
+            replayed=replayed,
+        )
 
     def _new_batch_sentences(self, batch: BatchExtraction) -> list[Sentence]:
         """The batch's sentences that survived session-wide dedup.
@@ -372,12 +454,6 @@ class IngestSession:
             per_concept=per_concept,
         )
 
-    def _fold_drift(self, drift: DriftStats) -> None:
-        for concept, counts in drift.per_concept.items():
-            totals = self._drift_totals.setdefault(concept, [0, 0])
-            totals[0] += counts[0]
-            totals[1] += counts[1]
-
     # ------------------------------------------------------------------
     # Cleaning
     # ------------------------------------------------------------------
@@ -394,6 +470,7 @@ class IngestSession:
             self._detect_factory(),
             self._config.cleaning,
             engine_factory=factory,
+            context=self._ctx,
         )
         version_before = kb.version
         result = cleaner.clean(kb, self._extractor.corpus())
@@ -435,8 +512,8 @@ class IngestSession:
                 "iteration": self._extractor.iteration,
                 "batches": self._extractor.batches,
                 "pool_sids": list(self._extractor.unresolved_sids()),
-                "since_clean": self._since_clean,
-                "cleanings": self._cleanings,
+                "since_clean": self._monitor.staleness,
+                "cleanings": self._monitor.cleanings,
                 "reports": [r.to_dict() for r in self._reports],
             },
         )
@@ -449,7 +526,7 @@ class IngestSession:
         if snapshot is not None:
             kb, sentences, meta = snapshot
             self._extractor = IncrementalExtractor(
-                self._config.extraction, kb=kb
+                self._config.extraction, kb=kb, context=self._ctx
             )
             self._extractor.restore(
                 sentences,
@@ -457,17 +534,26 @@ class IngestSession:
                 meta["iteration"],
                 meta["batches"],
             )
-            self._since_clean = meta["since_clean"]
-            self._cleanings = meta["cleanings"]
+            self._monitor.restore(
+                staleness=meta["since_clean"],
+                cleanings=meta["cleanings"],
+            )
             self._reports = [
                 BatchReport.from_dict(r) for r in meta["reports"]
             ]
             for report in self._reports:
-                self._fold_drift(report.drift)
+                self._monitor.fold(report.drift.per_concept)
             self._seq = meta["seq"]
             self._last_snapshot_seq = meta["seq"]
         for entry in self._store.journal.entries(after_seq=self._seq):
             self._replay_entry(entry)
+        self._ctx.emit(
+            SessionResumed(
+                batches=len(self._reports),
+                cleanings=self._monitor.cleanings,
+                total_pairs=len(self.kb),
+            )
+        )
 
     def _replay_entry(self, entry: dict) -> None:
         if entry.get("type") != "batch":
@@ -484,6 +570,34 @@ class IngestSession:
                 f"journal recorded {report.total_pairs} — was the session "
                 "restarted with a different configuration?"
             )
+        # Replay publishes the same events live ingestion does, so the
+        # policy monitor (and any other subscriber) rebuilds its state
+        # from the bus rather than from private replay bookkeeping.
+        ctx = self._ctx
+        ctx.emit(
+            BatchExtracted(
+                index=batch.index,
+                sentences_seen=batch.sentences_seen,
+                sentences_new=batch.sentences_new,
+                new_pairs=len(batch.new_pairs),
+                total_pairs=batch.total_pairs,
+                iterations_run=batch.iterations_run,
+            )
+        )
+        ctx.emit(
+            DriftMeasured(
+                index=report.index,
+                new_pairs=report.drift.new_pairs,
+                conflicted=report.drift.conflicted,
+                fraction=report.drift.fraction,
+                per_concept=tuple(
+                    (concept, counts[0], counts[1])
+                    for concept, counts in sorted(
+                        report.drift.per_concept.items()
+                    )
+                ),
+            )
+        )
         kb = self._extractor.kb
         if report.cleaning is not None:
             version_before = kb.version
@@ -491,13 +605,19 @@ class IngestSession:
             self._extractor.resync_visible(
                 kb.dirty_concepts_since(version_before)
             )
-            self._since_clean = 0
-            self._cleanings += 1
-        else:
-            self._since_clean += report.sentences_new
+            ctx.emit(
+                CleaningCompleted(
+                    rounds=report.cleaning.rounds,
+                    pairs_removed=report.cleaning.removed_pairs,
+                    records_rolled_back=(
+                        report.cleaning.records_rolled_back
+                    ),
+                    reason=report.cleaning.reason,
+                )
+            )
         self._seq = entry["seq"]
         self._reports.append(report)
-        self._fold_drift(report.drift)
+        ctx.emit(self._ingested_event(report, replayed=True))
 
     def removed_pairs(self) -> frozenset[IsAPair]:
         """Pairs removed by the session's cleaning passes so far."""

@@ -1,0 +1,104 @@
+"""RunContext: null-context statelessness, resources, emit/trace wiring."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.runtime.context import NULL_CONTEXT, RunContext, SharedResources
+from repro.runtime.events import LogEvent
+
+
+class Owner:
+    """Weak-referenceable stand-in for a knowledge base."""
+
+
+class TestSharedResources:
+    def test_get_or_create_registers_once(self):
+        resources = SharedResources()
+        owner = Owner()
+        first = resources.get_or_create("exclusion", owner, list)
+        second = resources.get_or_create("exclusion", owner, list)
+        assert first is second
+        assert resources.get("exclusion", owner) is first
+
+    def test_keys_are_kind_and_owner(self):
+        resources = SharedResources()
+        a, b = Owner(), Owner()
+        resources.put("exclusion", a, "ra")
+        resources.put("exclusion", b, "rb")
+        resources.put("other", a, "oa")
+        assert resources.get("exclusion", a) == "ra"
+        assert resources.get("exclusion", b) == "rb"
+        assert resources.get("other", a) == "oa"
+        assert resources.get("other", b) is None
+
+    def test_owner_is_held_weakly(self):
+        resources = SharedResources()
+        owner = Owner()
+        resources.put("exclusion", owner, "resource")
+        del owner
+        gc.collect()
+        assert resources.get("exclusion", Owner()) is None
+
+
+class TestRunContext:
+    def test_untraced_span_is_inert(self):
+        ctx = RunContext()
+        assert not ctx.tracing
+        with ctx.span("anything", key="value") as span:
+            span.set(more=1)
+            span.add("counter", 3)
+        ctx.count("loose")  # no tracer: must be a silent no-op
+
+    def test_ensure_tracer_turns_tracing_on(self):
+        ctx = RunContext()
+        tracer = ctx.ensure_tracer()
+        assert ctx.ensure_tracer() is tracer
+        with ctx.span("s") as span:
+            span.add("n", 2)
+        assert tracer.find("s").counters == {"n": 2}
+
+    def test_emit_publishes_and_records(self):
+        ctx = RunContext()
+        seen = []
+        ctx.bus.subscribe(LogEvent, seen.append)
+        ctx.ensure_tracer()
+        with ctx.span("stage"):
+            ctx.emit(LogEvent("working"))
+        assert [e.message for e in seen] == ["working"]
+        assert ctx.tracer.find("stage").events == [
+            {"event": "LogEvent", "message": "working", "level": "info"}
+        ]
+
+    def test_export_requires_a_tracer(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunContext().export_trace(tmp_path / "t.jsonl")
+
+
+class TestNullContext:
+    def test_is_completely_stateless(self):
+        owner = Owner()
+        NULL_CONTEXT.resources.put("exclusion", owner, "leaked?")
+        assert NULL_CONTEXT.resources.get("exclusion", owner) is None
+        made = NULL_CONTEXT.resources.get_or_create(
+            "exclusion", owner, lambda: "fresh"
+        )
+        assert made == "fresh"
+        assert NULL_CONTEXT.resources.get("exclusion", owner) is None
+
+    def test_span_count_emit_are_noops(self):
+        with NULL_CONTEXT.span("s", a=1) as span:
+            span.set(b=2)
+            span.add("c")
+            # Reentrant: nesting through the same shared object is fine.
+            with NULL_CONTEXT.span("inner"):
+                pass
+        NULL_CONTEXT.count("n", 5)
+        NULL_CONTEXT.emit(LogEvent("dropped"))
+        assert not NULL_CONTEXT.tracing
+
+    def test_cannot_attach_a_tracer(self):
+        with pytest.raises(ValueError):
+            NULL_CONTEXT.ensure_tracer()

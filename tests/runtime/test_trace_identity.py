@@ -1,0 +1,142 @@
+"""Tracing is observation-only: traced and untraced runs are bit-identical.
+
+One small end-to-end run (corpus → extraction → analysis → detector →
+DP cleaning) executed twice — once with a tracer attached, once without —
+must serialise to byte-identical knowledge bases.  The traced run's span
+tree must also cover every stage with nonzero counters, which is the
+acceptance shape for ``repro run --trace``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning.dp_cleaner import DPCleaner
+from repro.experiments.pipeline import Pipeline, experiment_config
+from repro.kb.serialize import save_kb
+from repro.runtime.tracing import read_trace
+from repro.world.presets import paper_world
+
+SCALE = 0.5
+SENTENCES = 1500
+SEED = 20140324
+
+
+def make_pipeline() -> Pipeline:
+    preset = paper_world(seed=SEED, scale=SCALE)
+    config = experiment_config(
+        num_sentences=SENTENCES, seed=SEED, profiles=preset.profiles
+    )
+    return Pipeline(preset=preset, config=config)
+
+
+def run_and_clean(pipeline: Pipeline, trace=None):
+    """Full pipeline run plus one DP-cleaning pass."""
+    artifacts = pipeline.run(trace=None if trace is None else str(trace))
+    cleaner = DPCleaner(pipeline.detect_fn(), pipeline.config.cleaning)
+    result = cleaner.clean(artifacts.kb, artifacts.corpus)
+    # Export again so the trace includes the cleaning spans too.
+    if trace is not None:
+        pipeline.context.export_trace(trace)
+    return artifacts, result
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    trace_path = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    artifacts, result = run_and_clean(make_pipeline(), trace=trace_path)
+    return artifacts, result, trace_path
+
+
+@pytest.fixture(scope="module")
+def untraced_run():
+    return run_and_clean(make_pipeline())
+
+
+class TestBitIdentity:
+    def test_traced_and_untraced_kbs_are_byte_identical(
+        self, traced_run, untraced_run, tmp_path
+    ):
+        traced_artifacts = traced_run[0]
+        untraced_artifacts = untraced_run[0]
+        a, b = tmp_path / "traced.json", tmp_path / "untraced.json"
+        save_kb(traced_artifacts.kb, a)
+        save_kb(untraced_artifacts.kb, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_cleaning_results_match(self, traced_run, untraced_run):
+        traced_result = traced_run[1]
+        untraced_result = untraced_run[1]
+        assert traced_result.removed_pairs == untraced_result.removed_pairs
+        assert traced_result.rounds == untraced_result.rounds
+
+
+class TestTraceCoverage:
+    """The exported span tree covers every stage (acceptance shape)."""
+
+    @pytest.fixture(scope="class")
+    def records(self, traced_run):
+        return read_trace(traced_run[2])
+
+    @pytest.fixture(scope="class")
+    def spans(self, records):
+        return [r for r in records if r["kind"] == "span"]
+
+    def test_header_counts_spans(self, records, spans):
+        assert records[0]["kind"] == "trace"
+        assert records[0]["spans"] == len(spans)
+
+    def test_every_stage_has_a_span(self, spans):
+        names = {span["name"] for span in spans}
+        assert {
+            "corpus.generate",
+            "extract",
+            "extract.iteration",
+            "analysis.build",
+            "analysis.refresh",
+            "rank.batch",
+            "detector.fit",
+            "detector.embed",
+            "detector.train",
+            "clean",
+            "clean.round",
+        } <= names
+
+    def test_extraction_iterations_have_nonzero_counters(self, spans):
+        iterations = [s for s in spans if s["name"] == "extract.iteration"]
+        assert len(iterations) >= 2
+        assert sum(
+            s["counters"].get("sentences_scanned", 0) for s in iterations
+        ) > 0
+        assert sum(
+            s["counters"].get("pairs_committed", 0) for s in iterations
+        ) > 0
+
+    def test_detector_fits_report_concepts(self, spans):
+        fits = [s for s in spans if s["name"] == "detector.fit"]
+        assert fits and all(s["attributes"]["concepts"] > 0 for s in fits)
+        embeds = [s for s in spans if s["name"] == "detector.embed"]
+        assert sum(
+            s["counters"].get("transforms_computed", 0)
+            + s["counters"].get("transforms_reused", 0)
+            for s in embeds
+        ) > 0
+
+    def test_cleaning_rounds_have_activity(self, spans):
+        rounds = [s for s in spans if s["name"] == "clean.round"]
+        assert rounds
+        assert sum(
+            s["counters"].get("pairs_removed", 0) for s in rounds
+        ) > 0
+
+    def test_cleaning_spans_nest_under_clean(self, spans):
+        by_id = {s["id"]: s for s in spans}
+        for span in spans:
+            if span["name"] == "clean.round":
+                assert by_id[span["parent"]]["name"] == "clean"
+
+    def test_detector_fit_emits_event(self, spans):
+        events = [e for s in spans for e in s["events"]]
+        assert any(e["event"] == "DetectorFitted" for e in events)
+        assert any(e["event"] == "CleaningRound" for e in events)
+        assert any(e["event"] == "ExtractionIteration" for e in events)

@@ -1,0 +1,139 @@
+"""Tracer: span nesting, ordering, counters, JSONL round-trip, schema."""
+
+from __future__ import annotations
+
+from repro.runtime.tracing import (
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    read_trace,
+)
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == [
+            "inner-a", "inner-b",
+        ]
+        assert [s.name for s in outer.children[1].children] == ["leaf"]
+        assert tracer.current is None
+
+    def test_walk_is_depth_first_in_start_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        with tracer.span("d"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["a", "b", "c", "d"]
+
+    def test_timings_close_with_the_span(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            assert span.wall_ms is None
+        assert span.wall_ms is not None and span.wall_ms >= 0
+        assert span.cpu_ms is not None and span.cpu_ms >= 0
+
+    def test_attributes_and_counters(self):
+        tracer = Tracer()
+        with tracer.span("s", mode="fast") as span:
+            span.set(items=3)
+            span.add("hits")
+            span.add("hits", 2)
+        assert span.attributes == {"mode": "fast", "items": 3}
+        assert span.counters == {"hits": 3}
+
+    def test_counts_outside_any_span_land_in_loose_pool(self):
+        tracer = Tracer()
+        tracer.count("orphan", 5)
+        with tracer.span("s"):
+            tracer.count("scoped", 1)
+        assert tracer.loose_counters == {"orphan": 5}
+        assert tracer.find("s").counters == {"scoped": 1}
+        assert tracer.counter_total("orphan") == 5
+        assert tracer.counter_total("scoped") == 1
+
+    def test_record_event_attaches_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.record_event("Thing", {"n": 1})
+        assert tracer.find("s").events == [{"event": "Thing", "n": 1}]
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        span = tracer.find("fails")
+        assert span.wall_ms is not None
+        assert tracer.current is None
+
+
+class TestJsonlExport:
+    def test_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", stage="x") as root:
+            root.add("n", 7)
+            tracer.record_event("E", {"k": "v"})
+            with tracer.span("child"):
+                pass
+        tracer.count("loose", 2)
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        records = read_trace(path)
+        header, spans, trailer = records[0], records[1:-1], records[-1]
+        assert header == {
+            "kind": "trace",
+            "schema": TRACE_SCHEMA_VERSION,
+            "spans": 2,
+        }
+        assert [r["name"] for r in spans] == ["root", "child"]
+        assert spans[0]["attributes"] == {"stage": "x"}
+        assert spans[0]["counters"] == {"n": 7}
+        assert spans[0]["events"] == [{"event": "E", "k": "v"}]
+        assert spans[1]["parent"] == spans[0]["id"]
+        assert trailer == {
+            "kind": "counters",
+            "schema": TRACE_SCHEMA_VERSION,
+            "counters": {"loose": 2},
+        }
+
+    def test_pinned_span_record_fields(self, tmp_path):
+        """The span record schema is a public contract — do not drift."""
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        (record,) = [r for r in read_trace(path) if r["kind"] == "span"]
+        assert sorted(record) == [
+            "attributes",
+            "counters",
+            "cpu_ms",
+            "events",
+            "id",
+            "kind",
+            "name",
+            "parent",
+            "schema",
+            "start",
+            "wall_ms",
+        ]
+        assert record["schema"] == TRACE_SCHEMA_VERSION == 1
+
+    def test_no_trailer_without_loose_counters(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        records = read_trace(tracer.export_jsonl(tmp_path / "t.jsonl"))
+        assert [r["kind"] for r in records] == ["trace", "span"]

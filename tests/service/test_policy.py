@@ -77,3 +77,92 @@ class TestDecide:
     def test_every_batch_policy(self):
         policy = IngestPolicy.every_batch()
         assert policy.decide(staleness=0, drift=0.0, new_pairs=0).clean
+
+
+class TestPolicyMonitor:
+    """The monitor derives trigger inputs purely from bus events."""
+
+    def _bus_and_monitor(self):
+        from repro.runtime.events import EventBus
+        from repro.service import PolicyMonitor
+
+        bus = EventBus()
+        return bus, PolicyMonitor(bus)
+
+    def _batch(self, sentences_new=100, new_pairs=10, index=0):
+        from repro.runtime.events import BatchExtracted
+
+        return BatchExtracted(
+            index=index, sentences_seen=sentences_new,
+            sentences_new=sentences_new, new_pairs=new_pairs,
+            total_pairs=new_pairs, iterations_run=1,
+        )
+
+    def test_staleness_accumulates_from_batches(self):
+        bus, monitor = self._bus_and_monitor()
+        bus.publish(self._batch(sentences_new=60))
+        bus.publish(self._batch(sentences_new=40, index=1))
+        assert monitor.staleness == 100
+
+    def test_cleaning_completed_resets_staleness(self):
+        from repro.runtime.events import CleaningCompleted
+
+        bus, monitor = self._bus_and_monitor()
+        bus.publish(self._batch(sentences_new=500))
+        bus.publish(
+            CleaningCompleted(rounds=2, pairs_removed=5,
+                              records_rolled_back=1)
+        )
+        assert monitor.staleness == 0
+        assert monitor.cleanings == 1
+
+    def test_drift_events_fold_totals_and_track_last(self):
+        from repro.runtime.events import DriftMeasured
+
+        bus, monitor = self._bus_and_monitor()
+        bus.publish(DriftMeasured(
+            index=0, new_pairs=30, conflicted=3, fraction=0.1,
+            per_concept=(("animal", 20, 2), ("food", 10, 1)),
+        ))
+        bus.publish(DriftMeasured(
+            index=1, new_pairs=50, conflicted=10, fraction=0.2,
+            per_concept=(("animal", 50, 10),),
+        ))
+        assert monitor.last_drift == 0.2
+        assert monitor.last_new_pairs == 50
+        assert monitor.drift_totals == {
+            "animal": [70, 12], "food": [10, 1],
+        }
+
+    def test_decide_reads_the_accumulated_state(self):
+        from repro.runtime.events import DriftMeasured
+
+        bus, monitor = self._bus_and_monitor()
+        policy = IngestPolicy(
+            staleness_threshold=None, drift_threshold=0.1, min_new_pairs=20
+        )
+        bus.publish(DriftMeasured(
+            index=0, new_pairs=25, conflicted=5, fraction=0.2,
+        ))
+        decision = monitor.decide(policy)
+        assert decision.clean and decision.reason == "drift"
+
+    def test_close_detaches_from_the_bus(self):
+        bus, monitor = self._bus_and_monitor()
+        monitor.close()
+        bus.publish(self._batch(sentences_new=100))
+        assert monitor.staleness == 0
+        assert not bus.has_subscribers
+
+    def test_session_monitor_matches_reports(self, service_corpus):
+        """The live session's monitor agrees with its committed reports."""
+        from .conftest import make_pipeline
+
+        pipeline = make_pipeline()
+        session = pipeline.session(policy=IngestPolicy.never())
+        for batch in service_corpus.batches(500):
+            session.ingest(batch)
+        expected = sum(r.sentences_new for r in session.reports)
+        assert session.staleness == expected
+        assert session.monitor.staleness == expected
+        assert session.cleanings == 0

@@ -118,6 +118,39 @@ class TestMain:
         assert "batch 0: +400 sentences" in out
         assert '"cleanings": 0' in out
 
+    def test_run_trace_exports_span_tree(self, capsys, tmp_path):
+        from repro.runtime.tracing import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "figure4", "--scale", "0.5", "--sentences", "2000",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        records = read_trace(trace)
+        assert records[0]["kind"] == "trace"
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        assert {"corpus.generate", "extract", "extract.iteration"} <= names
+
+    def test_ingest_trace_exports_span_tree(self, capsys, tmp_path):
+        from repro.runtime.tracing import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["ingest", "--scale", "0.5", "--sentences", "800",
+             "--batch-size", "400", "--staleness", "-1",
+             "--drift-threshold", "-1", "--trace", str(trace)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        spans = [r for r in read_trace(trace) if r["kind"] == "span"]
+        batches = [s for s in spans if s["name"] == "ingest.batch"]
+        assert len(batches) >= 2
+        assert any(
+            e["event"] == "BatchIngested" for s in batches for e in s["events"]
+        )
+
     def test_output_files_written(self, capsys, tmp_path):
         import json
 

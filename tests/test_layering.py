@@ -1,0 +1,109 @@
+"""The layered-module boundaries are enforced (scripts/check_layering.py).
+
+Two halves: the real source tree must be clean, and the checker must
+actually catch violations — a checker that always passes enforces
+nothing, so we seed an upward import into a scratch tree and require a
+nonzero exit.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_layering", REPO_ROOT / "scripts" / "check_layering.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRealTree:
+    def test_no_violations(self, checker):
+        assert checker.check_layering(PACKAGE_ROOT) == []
+
+    def test_every_member_is_registered(self, checker):
+        members = set()
+        for path in PACKAGE_ROOT.iterdir():
+            if path.is_dir() and (path / "__init__.py").exists():
+                members.add(path.name)
+            elif path.suffix == ".py":
+                members.add(path.stem)
+        assert members <= set(checker.LAYERS)
+
+    def test_cli_exit_code_zero(self, checker):
+        assert checker.main(["--root", str(PACKAGE_ROOT)]) == 0
+
+
+class TestSeededViolation:
+    def _make_tree(self, tmp_path: Path, source: str, member: str) -> Path:
+        root = tmp_path / "repro"
+        root.mkdir()
+        (root / f"{member}.py").write_text(source, encoding="utf-8")
+        return root
+
+    def test_upward_relative_import_is_caught(self, checker, tmp_path):
+        # errors (L0) importing cleaning (L6) — clearly upward.
+        root = self._make_tree(
+            tmp_path, "from .cleaning import DPCleaner\n", "errors"
+        )
+        violations = checker.check_layering(root)
+        assert len(violations) == 1
+        assert "upward import" in violations[0]
+        assert "errors (L0) imports cleaning (L6)" in violations[0]
+
+    def test_upward_absolute_import_is_caught(self, checker, tmp_path):
+        root = self._make_tree(
+            tmp_path, "import repro.service.session\n", "kb"
+        )
+        violations = checker.check_layering(root)
+        assert len(violations) == 1
+        assert "kb (L3) imports service (L7)" in violations[0]
+
+    def test_nested_sibling_violation_is_caught(self, checker, tmp_path):
+        # A module nested two levels down importing upward via '..'.
+        root = tmp_path / "repro"
+        (root / "extraction" / "inner").mkdir(parents=True)
+        (root / "extraction" / "inner" / "mod.py").write_text(
+            "from ...experiments import Pipeline\n", encoding="utf-8"
+        )
+        violations = checker.check_layering(root)
+        assert len(violations) == 1
+        assert "extraction (L4) imports experiments (L7)" in violations[0]
+
+    def test_same_member_relative_import_is_allowed(self, checker, tmp_path):
+        root = tmp_path / "repro"
+        (root / "cleaning" / "baselines").mkdir(parents=True)
+        (root / "cleaning" / "baselines" / "one.py").write_text(
+            "from ..base import BaseCleaner\nfrom .shared import X\n",
+            encoding="utf-8",
+        )
+        assert checker.check_layering(root) == []
+
+    def test_downward_import_is_allowed(self, checker, tmp_path):
+        root = self._make_tree(
+            tmp_path, "from .kb import KnowledgeBase\n", "cleaning"
+        )
+        assert checker.check_layering(root) == []
+
+    def test_unregistered_member_is_reported(self, checker, tmp_path):
+        root = self._make_tree(tmp_path, "x = 1\n", "mystery")
+        violations = checker.check_layering(root)
+        assert len(violations) == 1
+        assert "not registered" in violations[0]
+
+    def test_cli_exit_code_nonzero(self, checker, tmp_path, capsys):
+        root = self._make_tree(
+            tmp_path, "from .cleaning import DPCleaner\n", "errors"
+        )
+        assert checker.main(["--root", str(root)]) == 1
+        assert "layering violation" in capsys.readouterr().err
