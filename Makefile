@@ -4,7 +4,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 DATE   := $(shell date +%Y-%m-%d)
 
-.PHONY: test lint bench bench-substrates bench-ingest bench-compare
+.PHONY: test lint bench bench-substrates bench-ingest bench-extraction bench-compare
 
 test: lint
 	$(PYTEST) -x -q
@@ -27,6 +27,12 @@ bench-substrates:
 # durability overhead, cold resume).
 bench-ingest:
 	$(PYTEST) benchmarks/test_bench_ingest.py --benchmark-only \
+		--benchmark-json=BENCH_$(DATE).json
+
+# The deep-pool extraction benchmarks alone (worklist vs naive scan) —
+# the quick loop while working on the resolution engine.
+bench-extraction:
+	$(PYTEST) benchmarks/test_bench_extraction_worklist.py --benchmark-only \
 		--benchmark-json=BENCH_$(DATE).json
 
 # Re-run the benchmarks and fail if anything regressed more than 1.5x

@@ -19,6 +19,7 @@ failure as "re-run and investigate", not proof of a regression.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import subprocess
 import sys
@@ -35,14 +36,20 @@ def latest_committed_bench() -> tuple[str, str]:
     overwrites same-day files in place, and the point is to compare
     against what was committed.
     """
+    # ls-tree pathspecs are literal prefixes (no globbing), so list the
+    # tree root and filter here.
     listing = subprocess.run(
-        ["git", "ls-tree", "--name-only", "HEAD", "--", "BENCH_*.json"],
+        ["git", "ls-tree", "--name-only", "HEAD"],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
         check=True,
     )
-    names = sorted(line for line in listing.stdout.splitlines() if line)
+    names = sorted(
+        line
+        for line in listing.stdout.splitlines()
+        if fnmatch.fnmatch(line, "BENCH_*.json")
+    )
     if not names:
         raise SystemExit("no committed BENCH_*.json to compare against")
     blob = subprocess.run(
@@ -101,12 +108,14 @@ def main(argv: list[str] | None = None) -> int:
     fresh = min_times(fresh_path.read_text())
 
     regressions: list[str] = []
+    new_benchmarks: list[str] = []
     width = max((len(name) for name in fresh), default=0)
     for name in sorted(fresh):
         new_min = fresh[name]
         old_min = baseline.get(name)
         if old_min is None:
             print(f"{name:<{width}}  {new_min * 1e3:9.1f} ms  (new benchmark)")
+            new_benchmarks.append(name)
             continue
         ratio = new_min / old_min if old_min else float("inf")
         flag = "REGRESSION" if ratio > args.threshold else "ok"
@@ -118,6 +127,11 @@ def main(argv: list[str] | None = None) -> int:
             regressions.append(name)
     for name in sorted(set(baseline) - set(fresh)):
         print(f"{name:<{width}}  (not run this time)")
+    if new_benchmarks:
+        print(
+            f"\n{len(new_benchmarks)} new benchmark(s) without a baseline: "
+            f"{', '.join(new_benchmarks)}"
+        )
 
     if regressions:
         print(

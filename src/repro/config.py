@@ -116,12 +116,18 @@ class CorpusConfig:
 
 @dataclass(frozen=True)
 class ExtractionConfig:
-    """Semantic iterative extraction parameters."""
+    """Semantic iterative extraction parameters.
+
+    ``delta_index`` selects the semi-naive, evidence-indexed resolution
+    engine (the default).  ``False`` keeps the naive full scan — same
+    results bit-for-bit, kept as the equivalence and benchmark reference.
+    """
 
     max_iterations: int = 100
     min_evidence: int = 1
     policy: str = "nearest"  # "nearest" or "max_evidence"
     stream_chunks: int = 1
+    delta_index: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:

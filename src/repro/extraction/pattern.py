@@ -23,6 +23,8 @@ __all__ = ["ParsedSentence", "HearstParser", "naive_singularize"]
 _CUE = " such as "
 _FROM = " from "
 _OTHER_THAN = " other than "
+# Longest-first so e.g. "some of the " is stripped before "some ".
+_LEADINS_BY_LENGTH = tuple(sorted(LEADINS, key=len, reverse=True))
 
 
 @dataclass(frozen=True)
@@ -124,7 +126,7 @@ class HearstParser:
             candidate = " ".join(words[start:])
             if candidate in self._plural_to_name:
                 return self._plural_to_name[candidate]
-        for leadin in sorted(LEADINS, key=len, reverse=True):
+        for leadin in _LEADINS_BY_LENGTH:
             if leadin and phrase.startswith(leadin):
                 phrase = phrase[len(leadin):]
                 break

@@ -115,7 +115,14 @@ class LogEvent(Event):
 
 @dataclass(frozen=True)
 class ExtractionIteration(Event):
-    """One extraction iteration finished (batch or incremental)."""
+    """One extraction iteration finished (batch or incremental).
+
+    Under delta-driven resolution, ``sentences_skipped`` counts pool
+    sentences the worklist never attempted this iteration (the naive scan
+    would have re-attempted each one) and ``index_hits`` counts attempts
+    driven by an evidence-index wake rather than fresh arrival.
+    ``sentences_scanned + sentences_skipped`` equals the naive scan count.
+    """
 
     iteration: int
     sentences_scanned: int
@@ -123,6 +130,8 @@ class ExtractionIteration(Event):
     new_pairs: int
     total_pairs: int
     trigger_fanout: int
+    sentences_skipped: int = 0
+    index_hits: int = 0
 
 
 @dataclass(frozen=True)

@@ -320,6 +320,8 @@ class IngestSession:
             span.add("sentences_seen", batch.sentences_seen)
             span.add("sentences_new", batch.sentences_new)
             span.add("new_pairs", len(batch.new_pairs))
+            span.add("sentences_skipped", batch.sentences_skipped)
+            span.add("index_hits", batch.index_hits)
             ctx.emit(
                 BatchExtracted(
                     index=batch.index,

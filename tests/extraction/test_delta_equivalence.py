@@ -1,0 +1,170 @@
+"""Delta-driven resolution is bit-identical to the naive full scan.
+
+Property suite pinning the tentpole equivalence: across random corpora,
+resolution policies, ``min_evidence``, ``stream_chunks`` and batch
+splits, ``ExtractionConfig(delta_index=True)`` and ``delta_index=False``
+produce byte-equal KB saves (records, triggers, iteration numbers —
+everything provenance serialises) and identical ``IterationLog``s.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CorpusConfig, ExtractionConfig
+from repro.corpus import Corpus, generate_corpus
+from repro.corpus.sentence import Sentence
+from repro.extraction import IncrementalExtractor, SemanticIterativeExtractor
+from repro.kb.serialize import save_kb
+from repro.world import toy_world
+
+CONCEPTS = ("animal", "food", "plant", "city")
+INSTANCES = tuple(f"e{i}" for i in range(10))
+
+
+@st.composite
+def sentences(draw):
+    corpus_size = draw(st.integers(min_value=0, max_value=40))
+    out = []
+    for sid in range(corpus_size):
+        concepts = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(CONCEPTS),
+                    min_size=1,
+                    max_size=2,
+                    unique=True,
+                )
+            )
+        )
+        instances = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(INSTANCES),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        )
+        out.append(
+            Sentence(
+                sid=sid,
+                surface=f"s{sid}",
+                concepts=concepts,
+                instances=instances,
+            )
+        )
+    return out
+
+
+configs = st.builds(
+    ExtractionConfig,
+    max_iterations=st.sampled_from([3, 100]),
+    min_evidence=st.integers(min_value=1, max_value=2),
+    policy=st.sampled_from(["nearest", "max_evidence"]),
+    stream_chunks=st.sampled_from([1, 2, 3, 7]),
+    delta_index=st.just(True),
+)
+
+
+def _kb_bytes(kb) -> bytes:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "kb.json"
+        save_kb(kb, path)
+        return path.read_bytes()
+
+
+def _assert_equivalent(delta_result, naive_result):
+    assert _kb_bytes(delta_result.kb) == _kb_bytes(naive_result.kb)
+    assert list(delta_result.log) == list(naive_result.log)
+    assert delta_result.unresolved_sids == naive_result.unresolved_sids
+    assert delta_result.iterations == naive_result.iterations
+
+
+class TestBatchEquivalence:
+    @given(corpus_sentences=sentences(), config=configs)
+    @settings(max_examples=120, deadline=None)
+    def test_random_corpora(self, corpus_sentences, config):
+        corpus = Corpus(tuple(corpus_sentences))
+        delta = SemanticIterativeExtractor(config).run(corpus)
+        naive = SemanticIterativeExtractor(
+            ExtractionConfig(
+                max_iterations=config.max_iterations,
+                min_evidence=config.min_evidence,
+                policy=config.policy,
+                stream_chunks=config.stream_chunks,
+                delta_index=False,
+            )
+        ).run(corpus)
+        _assert_equivalent(delta, naive)
+
+    def test_generated_corpus_with_chunked_arrival(self):
+        preset = toy_world(seed=7)
+        corpus = generate_corpus(
+            preset.world,
+            CorpusConfig(num_sentences=800, profiles=preset.profiles),
+            seed=11,
+        )
+        for chunks in (1, 4):
+            delta = SemanticIterativeExtractor(
+                ExtractionConfig(stream_chunks=chunks)
+            ).run(corpus)
+            naive = SemanticIterativeExtractor(
+                ExtractionConfig(stream_chunks=chunks, delta_index=False)
+            ).run(corpus)
+            _assert_equivalent(delta, naive)
+
+
+class TestIncrementalEquivalence:
+    @given(
+        corpus_sentences=sentences(),
+        config=configs,
+        batch_size=st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_batch_streams(self, corpus_sentences, config, batch_size):
+        naive_config = ExtractionConfig(
+            max_iterations=config.max_iterations,
+            min_evidence=config.min_evidence,
+            policy=config.policy,
+            stream_chunks=config.stream_chunks,
+            delta_index=False,
+        )
+        delta = IncrementalExtractor(config)
+        naive = IncrementalExtractor(naive_config)
+        for start in range(0, len(corpus_sentences), batch_size):
+            batch = corpus_sentences[start:start + batch_size]
+            delta_batch = delta.ingest(batch)
+            naive_batch = naive.ingest(batch)
+            assert delta_batch.core_resolved == naive_batch.core_resolved
+            assert (
+                delta_batch.ambiguous_resolved
+                == naive_batch.ambiguous_resolved
+            )
+            assert delta_batch.new_pairs == naive_batch.new_pairs
+            assert delta_batch.total_pairs == naive_batch.total_pairs
+            assert (
+                delta_batch.iterations_run == naive_batch.iterations_run
+            )
+        assert _kb_bytes(delta.kb) == _kb_bytes(naive.kb)
+        assert list(delta.log) == list(naive.log)
+        assert delta.unresolved_sids() == naive.unresolved_sids()
+        assert delta.iteration == naive.iteration
+
+    def test_incremental_matches_batch_extractor_one_shot(self):
+        preset = toy_world(seed=7)
+        corpus = generate_corpus(
+            preset.world,
+            CorpusConfig(num_sentences=600, profiles=preset.profiles),
+            seed=7,
+        )
+        batch = SemanticIterativeExtractor(ExtractionConfig()).run(corpus)
+        incremental = IncrementalExtractor(ExtractionConfig())
+        incremental.ingest(corpus.sentences)
+        assert _kb_bytes(incremental.kb) == _kb_bytes(batch.kb)
+        assert list(incremental.log) == list(batch.log)
+        assert incremental.unresolved_sids() == batch.unresolved_sids
